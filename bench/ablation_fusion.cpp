@@ -1,0 +1,160 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   A. Request-list capacity — how often the fallback path fires and what
+//      it costs (the paper's negative-UID fallback, §IV-A2 ①).
+//   B. Rendezvous sub-protocol — RGET vs RPUT with fusion (§IV-B1).
+//   C. DirectIPC on/off for intra-node sparse exchanges ([24] integration).
+//   D. Max-requests-per-kernel cap — batch granularity vs completion lag.
+#include <iostream>
+
+#include "bench_util/experiment.hpp"
+#include "bench_util/table.hpp"
+#include "hw/machines.hpp"
+#include "core/threshold_model.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace dkf;
+
+bench::ExchangeConfig baseCfg() {
+  bench::ExchangeConfig cfg;
+  cfg.machine = hw::lassen();
+  cfg.scheme = schemes::Scheme::Proposed;
+  cfg.workload = workloads::specfem3dCm(64);
+  cfg.n_ops = 32;
+  cfg.iterations = 20;
+  cfg.warmup = 3;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dkf;
+
+  // ---- A: request-list capacity ----
+  bench::banner(std::cout,
+                "Ablation A — Request-list capacity vs fallback rate "
+                "(specfem3D_cm, 32 ops, Lassen)");
+  {
+    bench::Table table({"Capacity", "Latency", "Fallbacks", "Fused kernels"});
+    for (const std::size_t cap : {2u, 4u, 8u, 32u, 256u}) {
+      // ProposedTuned path lets us inject a custom policy via threshold;
+      // capacity needs a dedicated runtime config, so run the raw harness
+      // with a tuned engine: reuse tuned_threshold for the default 512 KB
+      // and vary capacity through a local machine tweak is not possible —
+      // instead construct the config with the scheme's policy override.
+      auto cfg = baseCfg();
+      cfg.scheme = schemes::Scheme::ProposedTuned;
+      cfg.tuned_threshold = 512 * 1024;
+      cfg.list_capacity = cap;
+      const auto r = bench::runBulkExchange(cfg);
+      table.addRow({std::to_string(cap), bench::cellUs(r.meanLatencyUs()),
+                    std::to_string(r.fallbacks),
+                    std::to_string(r.fused_kernels)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape: tiny lists overflow into the synchronous fallback "
+                 "and lose the fusion benefit; modest capacity suffices.\n";
+  }
+
+  // ---- B: rendezvous sub-protocol ----
+  bench::banner(std::cout, "Ablation B — RGET vs RPUT rendezvous with fusion");
+  {
+    bench::Table table({"Workload", "RGET", "RPUT"});
+    for (auto make : {workloads::specfem3dCm, workloads::nasMgFace}) {
+      const auto wl = make(96);
+      auto cfg = baseCfg();
+      cfg.workload = wl;
+      cfg.rendezvous = mpi::Protocol::RGet;
+      const double rget = bench::runBulkExchange(cfg).meanLatencyUs();
+      cfg.rendezvous = mpi::Protocol::RPut;
+      const double rput = bench::runBulkExchange(cfg).meanLatencyUs();
+      table.addRow({wl.name, bench::cellUs(rget), bench::cellUs(rput)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape: RPUT overlaps the handshake with packing (§IV-B1) "
+                 "and edges out RGET for rendezvous-sized messages.\n";
+  }
+
+  // ---- C: DirectIPC on/off, intra-node ----
+  bench::banner(std::cout,
+                "Ablation C — Intra-node DirectIPC zero-copy vs pack+copy+"
+                "unpack");
+  {
+    bench::Table table({"Workload", "DirectIPC on", "DirectIPC off"});
+    for (auto make : {workloads::specfem3dCm, workloads::milcZdown}) {
+      const auto wl = make(64);
+      auto cfg = baseCfg();
+      cfg.workload = wl;
+      cfg.intra_node = true;
+      cfg.enable_direct_ipc = true;
+      const double on = bench::runBulkExchange(cfg).meanLatencyUs();
+      cfg.enable_direct_ipc = false;
+      const double off = bench::runBulkExchange(cfg).meanLatencyUs();
+      table.addRow({wl.name, bench::cellUs(on), bench::cellUs(off)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape: skipping pack+unpack via fused strided NVLink "
+                 "copies wins intra-node.\n";
+  }
+
+  // ---- D: batch cap ----
+  bench::banner(std::cout,
+                "Ablation D — max requests per fused kernel (batch "
+                "granularity)");
+  {
+    bench::Table table({"Cap", "Latency", "Fused kernels"});
+    for (const std::size_t cap : {1u, 2u, 8u, 32u, 128u}) {
+      auto cfg = baseCfg();
+      cfg.scheme = schemes::Scheme::ProposedTuned;
+      cfg.tuned_threshold = 512 * 1024;
+      cfg.max_requests_per_kernel = cap;
+      const auto r = bench::runBulkExchange(cfg);
+      table.addRow({std::to_string(cap), bench::cellUs(r.meanLatencyUs()),
+                    std::to_string(r.fused_kernels)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape: cap=1 degenerates to GPU-Async-like one-kernel-"
+                 "per-op; wide caps recover the fused behaviour.\n";
+  }
+
+  // ---- E: heuristic 512 KB vs model-based threshold prediction ----
+  bench::banner(std::cout,
+                "Ablation E — heuristic 512 KB threshold vs model-based "
+                "prediction (paper future work, core/threshold_model)");
+  {
+    bench::Table table({"Workload", "dim", "Model threshold",
+                        "Heuristic 512 KB", "Model-predicted"});
+    const auto machine = hw::lassen();
+    const core::ThresholdModel model(machine.node.gpu,
+                                     machine.internode.bandwidth);
+    struct Case {
+      workloads::Workload (*make)(std::size_t);
+      std::size_t dim;
+    };
+    const Case cases[] = {
+        {workloads::specfem3dCm, 64},  {workloads::specfem3dCm, 512},
+        {workloads::milcZdown, 32},    {workloads::milcZdown, 128},
+        {workloads::nasMgFace, 64},
+    };
+    for (const auto& c : cases) {
+      const auto wl = c.make(c.dim);
+      const auto predicted = model.predict(ddt::flatten(wl.type, wl.count));
+      auto cfg = baseCfg();
+      cfg.workload = wl;
+      cfg.scheme = schemes::Scheme::Proposed;  // heuristic default
+      const double heuristic = bench::runBulkExchange(cfg).meanLatencyUs();
+      cfg.scheme = schemes::Scheme::ProposedTuned;
+      cfg.tuned_threshold = predicted;
+      const double tuned = bench::runBulkExchange(cfg).meanLatencyUs();
+      table.addRow({wl.name, std::to_string(c.dim), formatBytes(predicted),
+                    bench::cellUs(heuristic), bench::cellUs(tuned)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape: the model matches or beats the one-size heuristic, "
+                 "especially off the 512 KB sweet spot (very sparse or very "
+                 "large workloads).\n";
+  }
+  return 0;
+}

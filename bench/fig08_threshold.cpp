@@ -1,0 +1,69 @@
+// Fig. 8 — Performance effects of the fused-kernel threshold, specfem3D_cm
+// workload (sparse MPI indexed type), 32 continuous MPI_Isend/MPI_Irecv
+// operations on Lassen.
+//
+// Sweeps the FusionPolicy threshold from 16 KB (under-fused: kernels launch
+// too often) to 16 MB (over-fused: communication is delayed past the
+// overlap window). Rows are input sizes, columns thresholds — the same grid
+// the paper's surface shows, with the minimum (sweet spot) flagged.
+#include <iostream>
+
+#include "bench_util/experiment.hpp"
+#include "bench_util/table.hpp"
+#include "hw/machines.hpp"
+
+int main() {
+  using namespace dkf;
+  bench::banner(std::cout,
+                "Fig. 8 — Fused-kernel threshold sweep (specfem3D_cm, 32 "
+                "Isend/Irecv, Lassen)",
+                "under-fused (left) vs over-fused (right); paper sweet spot "
+                "~512 KB");
+
+  const std::vector<std::size_t> thresholds = {
+      16 * 1024,       64 * 1024,        256 * 1024,      512 * 1024,
+      1024 * 1024,     4 * 1024 * 1024,  16 * 1024 * 1024,
+      64 * 1024 * 1024};
+  const std::vector<std::size_t> dims = {8, 32, 128, 512, 2048, 4096};
+
+  std::vector<std::string> headers{"dim (size)"};
+  for (auto t : thresholds) headers.push_back(formatBytes(t));
+  bench::Table table(std::move(headers));
+
+  for (const auto dim : dims) {
+    const auto wl = workloads::specfem3dCm(dim);
+    std::vector<std::string> row{
+        std::to_string(dim) + " (" + formatBytes(wl.packedBytes()) + ")"};
+    double best = 0.0;
+    std::size_t best_idx = 0;
+    std::vector<double> lat(thresholds.size());
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      bench::ExchangeConfig cfg;
+      cfg.machine = hw::lassen();
+      cfg.scheme = schemes::Scheme::ProposedTuned;
+      cfg.tuned_threshold = thresholds[i];
+      cfg.workload = wl;
+      cfg.n_ops = 32;
+      cfg.iterations = 12;
+      cfg.warmup = 3;
+      lat[i] = bench::runBulkExchange(cfg).meanLatencyUs();
+      if (i == 0 || lat[i] < best) {
+        best = lat[i];
+        best_idx = i;
+      }
+    }
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      row.push_back(bench::cellUs(lat[i]) + (i == best_idx ? " *" : ""));
+    }
+    table.addRow(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(*) best threshold per size. Paper shape: U-shaped — "
+               "latency high at 16 KB (under-fused: one launch per few "
+               "ops), minimal at a machine-dependent sweet spot (the paper "
+               "reports ~512 KB on its testbeds; this calibration lands at "
+               "0.25-4 MB), and degrading again for large inputs once "
+               "over-fusing delays communication past the overlap window "
+               "(right columns of the bottom rows).\n";
+  return 0;
+}

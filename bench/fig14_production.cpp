@@ -1,0 +1,70 @@
+// Fig. 14 — Comparison with production CUDA-aware MPI libraries on Lassen,
+// normalized to SpectrumMPI (HIGHER is better). SpectrumMPI and OpenMPI+UCX
+// have no optimized GPU datatype engine and fall back to one
+// cudaMemcpyAsync per contiguous block; MVAPICH2-GDR adaptively mixes the
+// CPU-GPU-Hybrid and GPU-Sync schemes; Proposed is this paper.
+//
+// Paper shape: Proposed is ~1000x SpectrumMPI/OpenMPI on sparse layouts and
+// up to 8.8x (sparse) / 4.3x (dense) over MVAPICH2-GDR.
+#include <iostream>
+
+#include "bench_util/experiment.hpp"
+#include "bench_util/table.hpp"
+#include "hw/machines.hpp"
+
+namespace {
+
+double latencyOf(dkf::schemes::Scheme scheme, const dkf::workloads::Workload& wl) {
+  dkf::bench::ExchangeConfig cfg;
+  cfg.machine = dkf::hw::lassen();
+  cfg.scheme = scheme;
+  cfg.workload = wl;
+  cfg.n_ops = 32;
+  cfg.iterations = 20;
+  cfg.warmup = 3;
+  return dkf::bench::runBulkExchange(cfg).meanLatencyUs();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dkf;
+  bench::banner(std::cout,
+                "Fig. 14 — Production MPI libraries on Lassen (normalized "
+                "to SpectrumMPI; higher is better)",
+                "SpectrumMPI/OpenMPI modeled as per-block cudaMemcpyAsync; "
+                "MVAPICH2-GDR as adaptive hybrid");
+
+  struct Case {
+    const char* label;
+    workloads::Workload wl;
+  };
+  const std::vector<Case> cases = {
+      {"specfem3D_oc (sparse)", workloads::specfem3dOc(64)},
+      {"specfem3D_cm (sparse)", workloads::specfem3dCm(64)},
+      {"MILC (dense)", workloads::milcZdown(64)},
+      {"NAS_MG (dense)", workloads::nasMgFace(64)},
+  };
+  const std::vector<schemes::Scheme> libs = {
+      schemes::Scheme::NaiveCopy,    // SpectrumMPI / OpenMPI behaviour
+      schemes::Scheme::AdaptiveGdr,  // MVAPICH2-GDR
+      schemes::Scheme::Proposed,
+  };
+
+  bench::Table table({"Workload", "SpectrumMPI/OpenMPI", "MVAPICH2-GDR",
+                      "Proposed", "Proposed vs GDR"});
+  for (const auto& c : cases) {
+    std::vector<double> lat;
+    for (auto s : libs) lat.push_back(latencyOf(s, c.wl));
+    const double base = lat[0];
+    table.addRow({c.label, bench::cell(base / lat[0], 2) + "x",
+                  bench::cell(base / lat[1], 2) + "x",
+                  bench::cell(base / lat[2], 2) + "x",
+                  bench::cell(lat[1] / lat[2], 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: Proposed orders of magnitude above "
+               "SpectrumMPI/OpenMPI on sparse layouts; up to ~8.8x (sparse)"
+               " and ~4.3x (dense) over MVAPICH2-GDR.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Host-performance micro-benchmarks (google-benchmark) for the DDT engine
+// primitives on the critical path of every scheme: datatype flattening,
+// layout-cache lookup, and the reference pack/unpack/strided-copy loops.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ddt/datatype.hpp"
+#include "ddt/layout.hpp"
+#include "ddt/pack.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace dkf;
+
+void BM_FlattenSparseIndexed(benchmark::State& state) {
+  const auto wl = workloads::specfem3dOc(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto layout = ddt::flatten(wl.type, 1);
+    benchmark::DoNotOptimize(layout.blockCount());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(ddt::flatten(wl.type, 1).blockCount()));
+}
+BENCHMARK(BM_FlattenSparseIndexed)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FlattenNestedVector(benchmark::State& state) {
+  const auto wl = workloads::milcZdown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto layout = ddt::flatten(wl.type, 1);
+    benchmark::DoNotOptimize(layout.size());
+  }
+}
+BENCHMARK(BM_FlattenNestedVector)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LayoutCacheHit(benchmark::State& state) {
+  ddt::LayoutCache cache;
+  const auto wl = workloads::specfem3dCm(64);
+  cache.get(wl.type, 1);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(wl.type, 1));
+  }
+}
+BENCHMARK(BM_LayoutCacheHit);
+
+void BM_LayoutCacheMissVsFlatten(benchmark::State& state) {
+  const auto wl = workloads::specfem3dCm(64);
+  for (auto _ : state) {
+    ddt::LayoutCache cache;
+    benchmark::DoNotOptimize(cache.get(wl.type, 1));
+  }
+}
+BENCHMARK(BM_LayoutCacheMissVsFlatten);
+
+void BM_PackCpuSparse(benchmark::State& state) {
+  const auto wl = workloads::specfem3dOc(static_cast<std::size_t>(state.range(0)));
+  const auto layout = ddt::flatten(wl.type, 1);
+  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
+  std::vector<std::byte> packed(layout.size());
+  Rng rng(1);
+  for (auto& b : origin) b = static_cast<std::byte>(rng.below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddt::packCpu(layout, origin, packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.size()));
+}
+BENCHMARK(BM_PackCpuSparse)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_PackCpuDense(benchmark::State& state) {
+  const auto wl = workloads::nasMgFace(static_cast<std::size_t>(state.range(0)));
+  const auto layout = ddt::flatten(wl.type, 1);
+  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
+  std::vector<std::byte> packed(layout.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddt::packCpu(layout, origin, packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.size()));
+}
+BENCHMARK(BM_PackCpuDense)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_UnpackCpuDense(benchmark::State& state) {
+  const auto wl = workloads::nasMgFace(static_cast<std::size_t>(state.range(0)));
+  const auto layout = ddt::flatten(wl.type, 1);
+  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
+  std::vector<std::byte> packed(layout.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddt::unpackCpu(layout, packed, origin));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.size()));
+}
+BENCHMARK(BM_UnpackCpuDense)->Arg(32)->Arg(128);
+
+void BM_CopyStrided(benchmark::State& state) {
+  const auto a = workloads::milcZdown(static_cast<std::size_t>(state.range(0)));
+  const auto la = ddt::flatten(a.type, 1);
+  const auto lb = ddt::flatten(
+      ddt::Datatype::contiguous(la.size(), ddt::Datatype::byte()), 1);
+  std::vector<std::byte> src(static_cast<std::size_t>(la.endOffset()));
+  std::vector<std::byte> dst(la.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddt::copyStrided(la, src, lb, dst));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(la.size()));
+}
+BENCHMARK(BM_CopyStrided)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

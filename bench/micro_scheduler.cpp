@@ -1,0 +1,78 @@
+// Micro-benchmark for the §V-B claim: "The scheduling overhead of the
+// proposed scheduler has insignificant overhead, as low as 2 us per
+// message." Enqueues batches of pack requests through the fusion scheduler
+// and reports scheduling + query cost per message, plus launch amortization
+// (launch overhead per message as batches grow).
+#include <iostream>
+#include <vector>
+
+#include "bench_util/table.hpp"
+#include "common/check.hpp"
+#include "core/scheduler.hpp"
+#include "hw/machines.hpp"
+
+int main() {
+  using namespace dkf;
+  bench::banner(std::cout,
+                "Micro — Fusion scheduler overhead per message (§V-B claim: "
+                "<= 2 us/message)");
+
+  bench::Table table({"Batch size", "Scheduling/msg", "Sync(query)/msg",
+                      "Launch/msg", "Fused kernels"});
+
+  for (const std::size_t batch : {1u, 4u, 16u, 64u, 128u}) {
+    sim::Engine eng;
+    auto machine = hw::lassen();
+    sim::CpuTimeline cpu(eng);
+    gpu::Gpu gpu(eng, machine.node, 0);
+    core::FusionPolicy policy;
+    policy.threshold_bytes = 1u << 30;  // flush-driven batching
+    policy.max_requests_per_kernel = 256;
+    policy.list_capacity = 512;
+    core::FusionScheduler sched(eng, cpu, gpu, policy);
+
+    auto layout = std::make_shared<const ddt::Layout>(ddt::flatten(
+        ddt::Datatype::contiguous(4096, ddt::Datatype::byte()), 1));
+    auto src = gpu.memory().allocate(4096);
+    auto dst = gpu.memory().allocate(4096);
+
+    constexpr std::size_t kRounds = 16;
+    eng.spawn([](sim::Engine& e, core::FusionScheduler& s, std::size_t b,
+                 ddt::LayoutPtr l, gpu::MemSpan a,
+                 gpu::MemSpan d) -> sim::Task<void> {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::int64_t> uids;
+        for (std::size_t i = 0; i < b; ++i) {
+          core::FusionRequest req;
+          req.op = core::FusionOp::Packing;
+          req.layout = l;
+          req.origin = a;
+          req.target = d;
+          const auto uid = co_await s.enqueue(std::move(req));
+          DKF_CHECK(uid >= 0);
+          uids.push_back(uid);
+        }
+        co_await s.flush();
+        // Retire every request, as the progress engine would.
+        for (const auto uid : uids) {
+          while (!s.query(uid)) {
+            co_await e.delay(us(1));  // progress-engine poll period
+          }
+        }
+      }
+    }(eng, sched, batch, layout, src, dst));
+    eng.run();
+
+    const double msgs = static_cast<double>(batch * kRounds);
+    table.addRow({std::to_string(batch),
+                  bench::cellUs(toUs(sched.breakdown().scheduling) / msgs),
+                  bench::cellUs(toUs(sched.breakdown().synchronize) / msgs),
+                  bench::cellUs(toUs(sched.breakdown().launching) / msgs),
+                  std::to_string(sched.fusedKernelsLaunched())});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: scheduling cost flat (~1 us enqueue + query), "
+               "launch overhead per message shrinks ~1/batch as fusion "
+               "amortizes the single 9.5 us launch.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Node-count scaling of the 3-D halo exchange — the paper's motivating
+// "running at scale" scenario (§VII: bulk non-contiguous transfer
+// "dominates the overall communication time" at scale). Sweeps the rank
+// grid from 8 to 64 ranks (one GPU per node, periodic 3-D torus, one
+// HaloExchanger per rank) and reports per-iteration halo latency for
+// GPU-Sync vs the fusion engine. The fusion advantage must persist — the
+// per-rank message count is constant (6 faces), so the win comes from
+// batching each rank's 12 operations, independent of scale.
+#include <iostream>
+#include <memory>
+
+#include "bench_util/table.hpp"
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "mpi/runtime.hpp"
+#include "workloads/halo_exchanger.hpp"
+
+namespace {
+
+using namespace dkf;
+
+constexpr std::size_t kN = 16;
+constexpr std::size_t kGhost = 1;
+constexpr std::size_t kTotal = kN + 2 * kGhost;
+constexpr int kIters = 8;
+
+TimeNs runGrid(schemes::Scheme scheme, std::array<int, 3> grid) {
+  const int ranks = grid[0] * grid[1] * grid[2];
+  sim::Engine engine;
+  auto machine = hw::lassen();
+  machine.node.gpus_per_node = 1;  // one rank per node: all traffic inter-node
+  machine.node.gpu.arena_bytes = kTotal * kTotal * kTotal * 8 + (8u << 20);
+  hw::Cluster cluster(engine, machine, static_cast<std::size_t>(ranks));
+  mpi::RuntimeConfig config;
+  config.scheme = scheme;
+  mpi::Runtime rt(cluster, config);
+
+  std::vector<std::unique_ptr<workloads::HaloExchanger>> exchangers;
+  TimeNs per_iter = 0;
+  for (int r = 0; r < ranks; ++r) {
+    auto block = rt.proc(r).allocDevice(kTotal * kTotal * kTotal * 8);
+    exchangers.push_back(std::make_unique<workloads::HaloExchanger>(
+        rt.proc(r), block, workloads::HaloExchanger::Config{kN, kGhost, grid}));
+    engine.spawn([](mpi::Proc& p, workloads::HaloExchanger& ex,
+                    TimeNs& out) -> sim::Task<void> {
+      TimeNs total = 0;
+      for (int i = 0; i < kIters; ++i) {
+        co_await p.barrier();
+        const TimeNs t0 = p.engine().now();
+        co_await ex.exchange();
+        total += p.engine().now() - t0;
+      }
+      if (p.rank() == 0) out = total / kIters;
+    }(rt.proc(r), *exchangers.back(), per_iter));
+  }
+  engine.run();
+  DKF_CHECK_MSG(engine.unfinishedTasks() == 0, "scaling run deadlocked");
+  return per_iter;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dkf;
+  bench::banner(std::cout,
+                "Scaling — 3-D halo exchange latency vs node count "
+                "(16^3 doubles per rank, 1 GPU/node, Lassen fabric)",
+                "per-iteration rank-0 latency; fusion advantage should be "
+                "scale-independent");
+
+  bench::Table table({"Grid", "Ranks", "GPU-Sync", "Proposed", "Speedup"});
+  const std::array<std::array<int, 3>, 4> grids = {
+      std::array<int, 3>{2, 2, 2}, {4, 2, 2}, {4, 4, 2}, {4, 4, 4}};
+  for (const auto& grid : grids) {
+    const TimeNs sync = runGrid(schemes::Scheme::GpuSync, grid);
+    const TimeNs fused = runGrid(schemes::Scheme::Proposed, grid);
+    table.addRow({std::to_string(grid[0]) + "x" + std::to_string(grid[1]) +
+                      "x" + std::to_string(grid[2]),
+                  std::to_string(grid[0] * grid[1] * grid[2]),
+                  bench::cellUs(toUs(sync)), bench::cellUs(toUs(fused)),
+                  bench::cell(static_cast<double>(sync) /
+                                  static_cast<double>(fused),
+                              2) +
+                      "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: per-rank latency is scale-flat (each neighbor "
+               "pair has a dedicated channel; no shared-switch contention "
+               "is modeled) and the fusion speedup is constant across node "
+               "counts — each rank amortizes its own 12 launches "
+               "regardless of scale, which is why the paper's per-pair "
+               "evaluation generalizes.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// ddtbench-style suite runner: every paper workload x every DDT-processing
+// scheme on both machines, in one compact report. A quick way to see the
+// whole evaluation landscape (and the machine-dependent crossovers) without
+// running the individual figure benches.
+//
+// Build & run:  ./build/examples/ddtbench_suite
+#include <iostream>
+
+#include "bench_util/experiment.hpp"
+#include "bench_util/table.hpp"
+#include "hw/machines.hpp"
+
+using namespace dkf;
+
+int main() {
+  const std::vector<std::pair<const char*, hw::MachineSpec>> machines = {
+      {"Lassen", hw::lassen()},
+      {"ABCI", hw::abci()},
+  };
+  const std::vector<schemes::Scheme> scheme_list = {
+      schemes::Scheme::GpuSync,      schemes::Scheme::GpuAsync,
+      schemes::Scheme::CpuGpuHybrid, schemes::Scheme::NaiveCopy,
+      schemes::Scheme::AdaptiveGdr,  schemes::Scheme::Proposed,
+  };
+
+  for (const auto& [mname, machine] : machines) {
+    bench::banner(std::cout,
+                  std::string("ddtbench suite on ") + mname +
+                      " — 16 bulk exchanges per iteration, dim=64",
+                  machine.name);
+    std::vector<std::string> headers{"Workload (packed)"};
+    for (auto s : scheme_list) headers.emplace_back(schemes::schemeName(s));
+    bench::Table table(std::move(headers));
+
+    for (const auto& wl : workloads::paperWorkloads(64)) {
+      std::vector<std::string> row{wl.name + " (" +
+                                   formatBytes(wl.packedBytes()) + ")"};
+      for (const auto scheme : scheme_list) {
+        bench::ExchangeConfig cfg;
+        cfg.machine = machine;
+        cfg.scheme = scheme;
+        cfg.workload = wl;
+        cfg.n_ops = 16;
+        cfg.iterations = 15;
+        cfg.warmup = 3;
+        row.push_back(
+            bench::cellUs(bench::runBulkExchange(cfg).meanLatencyUs()));
+      }
+      table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nReading guide: sparse rows (specfem3D_*) — Proposed wins "
+               "big; dense rows — CPU-GPU-Hybrid competitive on Lassen "
+               "(GDRCopy) but not on ABCI; NaiveCopy (SpectrumMPI/OpenMPI "
+               "behaviour) is orders of magnitude off on sparse layouts.\n";
+  return 0;
+}

@@ -1,0 +1,282 @@
+// The paper's §III analysis, executable: a 2-D halo exchange among four
+// GPUs (Fig. 3) implemented three ways —
+//
+//   Algorithm 1: MPI-level EXPLICIT pack/unpack (MPI_Pack / MPI_Unpack are
+//                blocking, so packing cannot overlap communication),
+//   Algorithm 2: APPLICATION-level pack/unpack (the app launches its own
+//                GPU kernels, one synchronization per phase — more code,
+//                still no overlap with communication),
+//   Algorithm 3: MPI-level IMPLICIT pack/unpack (pass the derived datatype
+//                straight to Isend/Irecv and let the runtime schedule) —
+//                the productive form the proposed fusion engine accelerates.
+//
+// Each variant runs the same exchange on the same data and is validated
+// against the others; per-iteration latencies show Algorithm 3 + fusion
+// winning, exactly the argument of §III/§IV.
+//
+// Build & run:  ./build/examples/halo2d_approaches
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_util/table.hpp"
+#include "ddt/pack.hpp"
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "mpi/runtime.hpp"
+
+using namespace dkf;
+
+namespace {
+
+// A 2x2 process grid over an N x N global matrix of doubles; each rank owns
+// an (N/2+2) x (N/2+2) block with a one-cell ghost border and exchanges its
+// boundary column with its horizontal neighbor (the non-contiguous case the
+// paper's Fig. 3 highlights).
+constexpr std::size_t kN = 256;                 // owned cells per dimension
+constexpr std::size_t kTotal = kN + 2;          // with ghost border
+constexpr std::size_t kRowBytes = kTotal * 8;
+// "for each boundary buffer j for neighbor i" (Algorithms 1-3): the
+// application carries several field arrays, each exchanging its own
+// boundary column — this is the BULK the fusion framework batches.
+constexpr int kFields = 8;
+
+ddt::DatatypePtr columnType() {
+  // One column of the local block: kN doubles strided by a full row.
+  return ddt::Datatype::vector(kN, 1, static_cast<std::int64_t>(kTotal),
+                               ddt::Datatype::float64());
+}
+
+int horizontalNeighbor(int rank) { return rank ^ 1; }
+
+struct Setup {
+  sim::Engine eng;
+  hw::Cluster cluster;
+  mpi::Runtime rt;
+  // blocks[rank][field]: one local array per field per rank.
+  std::vector<std::vector<gpu::MemSpan>> blocks;
+
+  explicit Setup(schemes::Scheme scheme)
+      : cluster(eng, hw::lassen(), 1),
+        rt(cluster, [scheme] {
+          mpi::RuntimeConfig cfg;
+          cfg.scheme = scheme;
+          cfg.enable_direct_ipc = false;  // isolate the pack-path comparison
+          return cfg;
+        }()) {
+    blocks.resize(4);
+    for (int r = 0; r < 4; ++r) {
+      for (int f = 0; f < kFields; ++f) {
+        auto block = rt.proc(r).allocDevice(kTotal * kTotal * 8);
+        auto* cells = reinterpret_cast<double*>(block.bytes.data());
+        for (std::size_t i = 0; i < kTotal * kTotal; ++i) {
+          cells[i] = r * 1000.0 + f * 59.0 + static_cast<double>(i % 997);
+        }
+        blocks[r].push_back(block);
+      }
+    }
+  }
+
+  gpu::MemSpan ownColumn(int rank, int field) {
+    // The owned boundary column adjacent to the horizontal neighbor.
+    const std::size_t col = rank % 2 == 0 ? kN : 1;
+    return blocks[rank][field].subspan(
+        kRowBytes + col * 8, kTotal * kTotal * 8 - kRowBytes - col * 8);
+  }
+  gpu::MemSpan ghostColumn(int rank, int field) {
+    const std::size_t col = rank % 2 == 0 ? kN + 1 : 0;
+    return blocks[rank][field].subspan(
+        kRowBytes + col * 8, kTotal * kTotal * 8 - kRowBytes - col * 8);
+  }
+};
+
+// ---- Algorithm 1: MPI-level explicit pack/unpack ----
+sim::Task<void> algorithm1(mpi::Proc& p, Setup& s, TimeNs& out) {
+  auto type = columnType();
+  const auto layout = p.layoutCache().get(type, 1);
+  std::vector<gpu::MemSpan> packed_s, packed_r;
+  for (int f = 0; f < kFields; ++f) {
+    packed_s.push_back(p.allocDevice(layout->size()));
+    packed_r.push_back(p.allocDevice(layout->size()));
+  }
+  const int nbr = horizontalNeighbor(p.rank());
+
+  co_await p.barrier();
+  const TimeNs t0 = p.engine().now();
+  std::vector<mpi::RequestPtr> reqs;
+  for (int f = 0; f < kFields; ++f) {
+    // MPI_Irecv of the packed representation...
+    reqs.push_back(co_await p.irecv(packed_r[f], ddt::Datatype::byte(),
+                                    layout->size(), nbr, f));
+    // ...MPI_Pack (BLOCKING: must finish before Isend can be posted)...
+    co_await p.pack(s.ownColumn(p.rank(), f), type, 1, packed_s[f]);
+    reqs.push_back(co_await p.isend(packed_s[f], ddt::Datatype::byte(),
+                                    layout->size(), nbr, f));
+  }
+  co_await p.waitall(std::move(reqs));
+  // ...MPI_Unpack (BLOCKING again), one call per boundary buffer.
+  for (int f = 0; f < kFields; ++f) {
+    co_await p.unpack(packed_r[f], s.ghostColumn(p.rank(), f), type, 1);
+  }
+  if (p.rank() == 0) out = p.engine().now() - t0;
+  for (int f = 0; f < kFields; ++f) {
+    p.freeDevice(packed_s[f]);
+    p.freeDevice(packed_r[f]);
+  }
+}
+
+// ---- Algorithm 2: application-level pack/unpack kernels ----
+sim::Task<void> algorithm2(mpi::Proc& p, Setup& s, TimeNs& out) {
+  auto type = columnType();
+  const auto layout = p.layoutCache().get(type, 1);
+  std::vector<gpu::MemSpan> packed_s, packed_r;
+  for (int f = 0; f < kFields; ++f) {
+    packed_s.push_back(p.allocDevice(layout->size()));
+    packed_r.push_back(p.allocDevice(layout->size()));
+  }
+  const int nbr = horizontalNeighbor(p.rank());
+  auto& gpu = p.gpu();
+  const auto stream = gpu.createStream();
+
+  co_await p.barrier();
+  const TimeNs t0 = p.engine().now();
+
+  // pack_gpu_kernel(...) per boundary buffer; ONE sync for the whole phase
+  // (Algorithm 2's advantage over Algorithm 1).
+  TimeNs pack_done = 0;
+  for (int f = 0; f < kFields; ++f) {
+    gpu::Gpu::Op op;
+    op.kind = gpu::Gpu::Op::Kind::Pack;
+    op.layout = layout;
+    op.src = s.ownColumn(p.rank(), f).bytes;
+    op.dst = packed_s[f].bytes;
+    co_await p.cpu().busy(gpu.spec().kernel_launch_overhead);
+    const auto h = gpu.launchKernel(stream, {std::move(op)});
+    pack_done = h.end;
+  }
+  co_await p.cpu().holdUntil(pack_done);  // Synchronize_TO_GPU()
+
+  std::vector<mpi::RequestPtr> reqs;
+  for (int f = 0; f < kFields; ++f) {
+    reqs.push_back(co_await p.irecv(packed_r[f], ddt::Datatype::byte(),
+                                    layout->size(), nbr, f));
+    reqs.push_back(co_await p.isend(packed_s[f], ddt::Datatype::byte(),
+                                    layout->size(), nbr, f));
+  }
+  co_await p.waitall(std::move(reqs));
+
+  TimeNs unpack_done = 0;
+  for (int f = 0; f < kFields; ++f) {
+    gpu::Gpu::Op op;
+    op.kind = gpu::Gpu::Op::Kind::Unpack;
+    op.layout = layout;
+    op.src = packed_r[f].bytes;
+    op.dst = s.ghostColumn(p.rank(), f).bytes;
+    co_await p.cpu().busy(gpu.spec().kernel_launch_overhead);
+    const auto h = gpu.launchKernel(stream, {std::move(op)});
+    unpack_done = h.end;
+  }
+  co_await p.cpu().holdUntil(unpack_done);  // Synchronize_TO_GPU()
+
+  if (p.rank() == 0) out = p.engine().now() - t0;
+  for (int f = 0; f < kFields; ++f) {
+    p.freeDevice(packed_s[f]);
+    p.freeDevice(packed_r[f]);
+  }
+}
+
+// ---- Algorithm 3: MPI-level implicit (derived datatypes end to end) ----
+sim::Task<void> algorithm3(mpi::Proc& p, Setup& s, TimeNs& out) {
+  auto type = columnType();
+  const int nbr = horizontalNeighbor(p.rank());
+
+  co_await p.barrier();
+  const TimeNs t0 = p.engine().now();
+  std::vector<mpi::RequestPtr> reqs;
+  for (int f = 0; f < kFields; ++f) {
+    reqs.push_back(
+        co_await p.irecv(s.ghostColumn(p.rank(), f), type, 1, nbr, f));
+    reqs.push_back(
+        co_await p.isend(s.ownColumn(p.rank(), f), type, 1, nbr, f));
+  }
+  co_await p.waitall(std::move(reqs));
+  if (p.rank() == 0) out = p.engine().now() - t0;
+}
+
+using Algorithm = sim::Task<void> (*)(mpi::Proc&, Setup&, TimeNs&);
+
+/// Run one algorithm under one scheme; returns rank-0 latency and leaves
+/// the ghost columns filled for validation.
+TimeNs runVariant(Algorithm algo, schemes::Scheme scheme,
+                  std::vector<double>* ghosts_out = nullptr) {
+  Setup s(scheme);
+  TimeNs latency = 0;
+  for (int r = 0; r < 4; ++r) {
+    s.eng.spawn(algo(s.rt.proc(r), s, latency));
+  }
+  s.eng.run();
+  if (s.eng.unfinishedTasks() != 0) {
+    std::cerr << "variant deadlocked\n";
+    std::exit(1);
+  }
+  if (ghosts_out) {
+    // Capture rank 0's ghost columns (all fields) for cross-validation.
+    const auto layout = ddt::flatten(columnType(), 1);
+    for (int f = 0; f < kFields; ++f) {
+      auto ghost = s.ghostColumn(0, f);
+      for (const auto& seg : layout.segments()) {
+        for (std::size_t i = 0; i < seg.len; i += 8) {
+          double v;
+          std::memcpy(&v, ghost.bytes.data() + seg.offset + i, 8);
+          ghosts_out->push_back(v);
+        }
+      }
+    }
+  }
+  return latency;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "2-D halo exchange among four GPUs (paper Fig. 3), one "
+               "boundary column per neighbor,\nimplemented with the three "
+               "approaches of Section III:\n";
+
+  // Validate: all three approaches produce identical ghost columns.
+  std::vector<double> g1, g2, g3;
+  runVariant(algorithm1, schemes::Scheme::GpuSync, &g1);
+  runVariant(algorithm2, schemes::Scheme::GpuSync, &g2);
+  runVariant(algorithm3, schemes::Scheme::GpuSync, &g3);
+  if (g1 != g2 || g2 != g3 || g1.empty()) {
+    std::cerr << "FAILED: approaches disagree on the exchanged data\n";
+    return 1;
+  }
+  std::cout << "\nvalidation: all three approaches exchange identical ghost "
+               "columns (" << g1.size() << " cells)\n\n";
+
+  bench::Table table({"Approach", "Lines of app code (paper)", "GPU-Sync",
+                      "Proposed (fusion)"});
+  struct Row {
+    const char* name;
+    const char* loc;
+    Algorithm algo;
+  };
+  const Row rows[] = {
+      {"Alg. 1: MPI explicit pack/unpack", "16", algorithm1},
+      {"Alg. 2: application-level kernels", "18", algorithm2},
+      {"Alg. 3: MPI implicit (datatypes)", "10", algorithm3},
+  };
+  for (const auto& row : rows) {
+    const TimeNs sync = runVariant(row.algo, schemes::Scheme::GpuSync);
+    const TimeNs fused = runVariant(row.algo, schemes::Scheme::Proposed);
+    table.addRow({row.name, row.loc, bench::cellUs(toUs(sync)),
+                  bench::cellUs(toUs(fused))});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe paper's point: Algorithm 3 is the most productive AND, "
+               "with the fusion engine\nbehind it, the fastest — the "
+               "runtime can batch and overlap what explicit\napproaches "
+               "serialize.\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+// jacobi3d: a complete mini-application on the dkf stack.
+//
+// Eight ranks (2x2x2) solve a 3-D Laplace problem with Jacobi iteration:
+// every step each rank (a) exchanges its six ghost faces through the
+// fusion-enabled MPI runtime (subarray datatypes — the paper's bulk
+// non-contiguous pattern), (b) relaxes its interior on the "GPU", and
+// (c) agrees on the global residual with an allreduce. Fixed boundary
+// conditions (hot x=0 face on the boundary ranks); the solve converges and
+// the example reports iterations, final residual, and the communication
+// share under the fusion engine vs GPU-Sync.
+//
+// Build & run:  ./build/examples/jacobi3d
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "mpi/collectives.hpp"
+#include "workloads/halo_exchanger.hpp"
+
+using namespace dkf;
+
+namespace {
+
+constexpr std::size_t kN = 16;       // owned cells per dim per rank
+constexpr std::size_t kGhost = 1;
+constexpr std::size_t kTotal = kN + 2 * kGhost;
+constexpr int kMaxIters = 60;
+constexpr double kTolerance = 1e-3;
+
+double& cellAt(gpu::MemSpan block, std::size_t x, std::size_t y,
+               std::size_t z) {
+  return reinterpret_cast<double*>(
+      block.bytes.data())[(x * kTotal + y) * kTotal + z];
+}
+
+/// One Jacobi sweep over the interior; returns the local residual (max
+/// update magnitude). The compute itself is modeled as GPU busy time.
+double relaxInterior(gpu::MemSpan block, std::vector<double>& scratch) {
+  double residual = 0.0;
+  scratch.resize(kTotal * kTotal * kTotal);
+  auto* cur = reinterpret_cast<double*>(block.bytes.data());
+  std::memcpy(scratch.data(), cur, scratch.size() * 8);
+  auto at = [&](std::size_t x, std::size_t y, std::size_t z) -> double {
+    return scratch[(x * kTotal + y) * kTotal + z];
+  };
+  for (std::size_t x = kGhost; x < kGhost + kN; ++x) {
+    for (std::size_t y = kGhost; y < kGhost + kN; ++y) {
+      for (std::size_t z = kGhost; z < kGhost + kN; ++z) {
+        const double next =
+            (at(x - 1, y, z) + at(x + 1, y, z) + at(x, y - 1, z) +
+             at(x, y + 1, z) + at(x, y, z - 1) + at(x, y, z + 1)) /
+            6.0;
+        residual = std::max(residual, std::abs(next - at(x, y, z)));
+        cur[(x * kTotal + y) * kTotal + z] = next;
+      }
+    }
+  }
+  return residual;
+}
+
+struct Result {
+  int iterations{0};
+  double residual{0.0};
+  TimeNs elapsed{0};
+  double mean_edge{0.0};
+};
+
+sim::Task<void> rankSolve(mpi::Proc& proc, workloads::HaloExchanger& ex,
+                          gpu::MemSpan block, gpu::MemSpan residual_buf,
+                          Result& out) {
+  // Boundary condition: ranks on the -x face hold their x=0 ghost at 100.
+  const bool hot = ex.coords()[0] == 0;
+  std::vector<double> scratch;
+
+  co_await proc.barrier();
+  const TimeNs t0 = proc.engine().now();
+  int iter = 0;
+  double global_residual = 1.0;
+  for (; iter < kMaxIters && global_residual > kTolerance; ++iter) {
+    co_await ex.exchange();
+    if (hot) {
+      for (std::size_t y = 0; y < kTotal; ++y) {
+        for (std::size_t z = 0; z < kTotal; ++z) {
+          cellAt(block, 0, y, z) = 100.0;
+        }
+      }
+    }
+    // Model the relaxation kernel on the GPU: one launch + a stencil pass
+    // over kN^3 cells at ~1/4 of HBM peak (7-point stencil reads).
+    const auto& spec = proc.gpu().spec();
+    co_await proc.cpu().busy(spec.kernel_launch_overhead);
+    const double stencil_bytes = static_cast<double>(kN * kN * kN) * 8 * 8;
+    const auto kernel_time = static_cast<DurationNs>(
+        stencil_bytes / (spec.hbm_bandwidth.bytesPerNs() * 0.25));
+    co_await proc.engine().delay(kernel_time);
+    const double local = relaxInterior(block, scratch);
+
+    // Global convergence check.
+    *reinterpret_cast<double*>(residual_buf.bytes.data()) = local;
+    co_await mpi::allreduce(proc, residual_buf, 1, mpi::ReduceType::Float64,
+                            mpi::ReduceOp::Max,
+                            (1 << 22) + iter * 1024);
+    global_residual =
+        *reinterpret_cast<const double*>(residual_buf.bytes.data());
+  }
+
+  if (proc.rank() == 0) {
+    out.iterations = iter;
+    out.residual = global_residual;
+    out.elapsed = proc.engine().now() - t0;
+  }
+  // Sample the solution along the x axis on the hot boundary rank.
+  if (hot && proc.rank() == 0) {
+    double sum = 0.0;
+    for (std::size_t x = kGhost; x < kGhost + kN; ++x) {
+      sum += cellAt(block, x, kTotal / 2, kTotal / 2);
+    }
+    out.mean_edge = sum / kN;
+  }
+}
+
+Result runSolve(schemes::Scheme scheme) {
+  sim::Engine engine;
+  auto machine = hw::lassen();
+  machine.node.gpu.arena_bytes = kTotal * kTotal * kTotal * 8 + (8u << 20);
+  hw::Cluster cluster(engine, machine, 2);
+  mpi::RuntimeConfig config;
+  config.scheme = scheme;
+  mpi::Runtime runtime(cluster, config);
+
+  Result result;
+  std::vector<gpu::MemSpan> blocks;
+  std::vector<std::unique_ptr<workloads::HaloExchanger>> exchangers;
+  for (int r = 0; r < runtime.worldSize(); ++r) {
+    auto block = runtime.proc(r).allocDevice(kTotal * kTotal * kTotal * 8);
+    std::memset(block.bytes.data(), 0, block.size());
+    auto rbuf = runtime.proc(r).allocDevice(64);
+    blocks.push_back(block);
+    exchangers.push_back(std::make_unique<workloads::HaloExchanger>(
+        runtime.proc(r), block,
+        workloads::HaloExchanger::Config{kN, kGhost, {2, 2, 2}}));
+    engine.spawn(rankSolve(runtime.proc(r), *exchangers.back(), block, rbuf,
+                           result));
+  }
+  engine.run();
+  if (engine.unfinishedTasks() != 0) {
+    std::cerr << "solver deadlocked\n";
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "3-D Jacobi mini-app: 2x2x2 ranks x " << kN
+            << "^3 cells, hot x=0 boundary, halo exchange + allreduce per "
+               "iteration\n\n";
+  const Result fused = runSolve(schemes::Scheme::Proposed);
+  const Result sync = runSolve(schemes::Scheme::GpuSync);
+
+  std::cout << (fused.residual <= kTolerance ? "converged in "
+                                             : "stopped after ")
+            << fused.iterations << " iterations (residual "
+            << fused.residual
+            << "), mean solution along hot axis: " << fused.mean_edge
+            << "\n\n";
+  if (fused.iterations != sync.iterations ||
+      std::abs(fused.residual - sync.residual) > 1e-12) {
+    std::cerr << "FAILED: schemes disagree on the numerical result\n";
+    return 1;
+  }
+  std::cout << "numerics identical under both schemes (bit-stable halo "
+               "exchange)\n\n"
+            << "time to solution (virtual):\n"
+            << "  Proposed (kernel fusion): " << formatDuration(fused.elapsed)
+            << "\n"
+            << "  GPU-Sync baseline:        " << formatDuration(sync.elapsed)
+            << "\n"
+            << "  speedup:                  "
+            << static_cast<double>(sync.elapsed) /
+                   static_cast<double>(fused.elapsed)
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: send a strided GPU matrix column block between two simulated
+// GPU nodes with the dynamic-kernel-fusion MPI runtime, and verify the
+// bytes landed.
+//
+//   1. Build a Lassen-like 2-node cluster.
+//   2. Create an MPI runtime whose DDT engine is the proposed fusion scheme.
+//   3. Describe the non-contiguous data with an MPI vector datatype.
+//   4. Isend/Irecv + Waitall from two rank coroutines.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstring>
+#include <iostream>
+
+#include "ddt/datatype.hpp"
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "mpi/runtime.hpp"
+
+using namespace dkf;
+
+int main() {
+  // 1. Hardware: two Lassen nodes (4x V100 + NVLink2 + IB EDR each).
+  sim::Engine engine;
+  hw::Cluster cluster(engine, hw::lassen(), /*node_count=*/2);
+
+  // 2. Runtime: one rank per GPU; the Proposed fusion engine handles all
+  //    derived-datatype processing.
+  mpi::RuntimeConfig config;
+  config.scheme = schemes::Scheme::Proposed;
+  mpi::Runtime runtime(cluster, config);
+
+  // 3. Datatype: 4 columns of a 512x512 double matrix (a classic halo).
+  const std::size_t rows = 512, cols = 512, ncols = 4;
+  auto coltype = ddt::Datatype::vector(rows, ncols, cols,
+                                       ddt::Datatype::float64());
+  std::cout << "datatype: " << coltype->describe() << "\n"
+            << "payload : " << formatBytes(coltype->size()) << " out of a "
+            << formatBytes(rows * cols * 8) << " matrix\n";
+
+  // Device buffers on rank 0 (node 0) and rank 4 (first GPU of node 1).
+  auto& sender = runtime.proc(0);
+  auto& receiver = runtime.proc(4);
+  auto smat = sender.allocDevice(rows * cols * 8);
+  auto rmat = receiver.allocDevice(rows * cols * 8);
+  for (std::size_t i = 0; i < smat.size(); ++i) {
+    smat.bytes[i] = static_cast<std::byte>(i * 7 % 251);
+  }
+
+  // 4. Rank programs as coroutines.
+  TimeNs done_at = 0;
+  engine.spawn([](mpi::Proc& p, gpu::MemSpan buf,
+                  ddt::DatatypePtr type) -> sim::Task<void> {
+    auto req = co_await p.isend(buf, type, 1, /*dst=*/4, /*tag=*/0);
+    co_await p.wait(req);
+  }(sender, smat, coltype));
+  engine.spawn([](mpi::Proc& p, gpu::MemSpan buf, ddt::DatatypePtr type,
+                  TimeNs& out) -> sim::Task<void> {
+    auto req = co_await p.irecv(buf, type, 1, /*src=*/0, /*tag=*/0);
+    co_await p.wait(req);
+    out = p.engine().now();
+  }(receiver, rmat, coltype, done_at));
+  engine.run();
+
+  // Verify every column byte arrived intact.
+  const auto layout = ddt::flatten(coltype, 1);
+  for (const auto& seg : layout.segments()) {
+    if (std::memcmp(rmat.bytes.data() + seg.offset,
+                    smat.bytes.data() + seg.offset, seg.len) != 0) {
+      std::cerr << "FAILED: mismatch at offset " << seg.offset << "\n";
+      return 1;
+    }
+  }
+  std::cout << "transfer complete at t=" << formatDuration(done_at)
+            << " (virtual); " << layout.blockCount()
+            << " strided blocks verified byte-exact\n";
+  return 0;
+}

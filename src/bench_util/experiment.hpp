@@ -1,0 +1,54 @@
+// Shared experiment harness for the paper's figures.
+//
+// `runBulkExchange` reproduces the paper's measurement loop (§V-A): two
+// ranks on different nodes (or the same node for DirectIPC studies) perform
+// `n_ops` back-to-back non-blocking exchanges of one workload datatype per
+// iteration, separated by barriers; the reported latency is the mean over
+// `iterations` timed iterations after `warmup` discarded ones (the paper
+// uses 500 + 50; benches default lower where the sweep is wide, which
+// changes nothing in virtual time — the simulation is deterministic).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/stats.hpp"
+#include "hw/spec.hpp"
+#include "mpi/runtime.hpp"
+#include "schemes/factory.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dkf::bench {
+
+struct ExchangeConfig {
+  hw::MachineSpec machine;
+  schemes::Scheme scheme{schemes::Scheme::Proposed};
+  std::size_t tuned_threshold{0};  ///< ProposedTuned override (bytes)
+  std::size_t list_capacity{0};    ///< ProposedTuned request-list override
+  std::size_t max_requests_per_kernel{0};  ///< ProposedTuned batch cap
+  bool enable_direct_ipc{true};
+  workloads::Workload workload;
+  int n_ops{32};         ///< concurrent Isend/Irecv pairs per rank
+  int iterations{100};   ///< timed iterations
+  int warmup{10};        ///< discarded iterations
+  bool intra_node{false};  ///< place both ranks on one node (DirectIPC)
+  bool bidirectional{true};  ///< halo exchange (both directions at once)
+  mpi::Protocol rendezvous{mpi::Protocol::RGet};
+};
+
+struct ExchangeResult {
+  SampleSet latency_us;        ///< per-iteration end-to-end latency
+  TimeBreakdown breakdown;     ///< rank-0 engine costs over timed iterations
+  DurationNs total_elapsed{0};  ///< timed virtual time on rank 0
+  std::size_t fused_kernels{0};
+  std::size_t fallbacks{0};
+
+  double meanLatencyUs() const { return latency_us.mean(); }
+  /// Residual "observed communication" time per Fig. 11: elapsed minus the
+  /// CPU-attributed categories.
+  DurationNs observedCommunication() const;
+};
+
+ExchangeResult runBulkExchange(const ExchangeConfig& cfg);
+
+}  // namespace dkf::bench

@@ -1,0 +1,106 @@
+#include "bench_util/sweeps.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "bench_util/table.hpp"
+#include "core/threshold_model.hpp"
+
+namespace dkf::bench {
+
+namespace {
+
+double runOne(const hw::MachineSpec& machine, schemes::Scheme scheme,
+              const workloads::Workload& wl, int n_ops, int iterations,
+              int warmup) {
+  ExchangeConfig cfg;
+  cfg.machine = machine;
+  cfg.scheme = scheme;
+  cfg.workload = wl;
+  cfg.n_ops = n_ops;
+  cfg.iterations = iterations;
+  cfg.warmup = warmup;
+  if (scheme == schemes::Scheme::ProposedTuned) {
+    // "Proposed-Tuned" uses the model-based threshold prediction (the
+    // paper's future work, core/threshold_model.hpp) instead of the
+    // heuristic 512 KB default.
+    const core::ThresholdModel model(machine.node.gpu,
+                                     machine.internode.bandwidth);
+    cfg.tuned_threshold = model.predict(ddt::flatten(wl.type, wl.count));
+  }
+  return runBulkExchange(cfg).meanLatencyUs();
+}
+
+std::vector<std::string> headersFor(
+    const std::string& lead, const std::vector<schemes::Scheme>& scheme_list) {
+  std::vector<std::string> headers{lead};
+  for (auto s : scheme_list) headers.emplace_back(schemes::schemeName(s));
+  headers.emplace_back("Speedup vs best other");
+  return headers;
+}
+
+void addSweepRow(Table& table, std::string label,
+                 const std::vector<schemes::Scheme>& scheme_list,
+                 const std::vector<double>& lat) {
+  std::vector<std::string> row{std::move(label)};
+  double proposed = 0.0;
+  double best_other = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scheme_list.size(); ++i) {
+    row.push_back(cellUs(lat[i]));
+    if (scheme_list[i] == schemes::Scheme::Proposed ||
+        scheme_list[i] == schemes::Scheme::ProposedTuned) {
+      proposed = proposed == 0.0 ? lat[i] : std::min(proposed, lat[i]);
+    } else {
+      best_other = std::min(best_other, lat[i]);
+    }
+  }
+  if (proposed > 0.0 && best_other < std::numeric_limits<double>::infinity()) {
+    row.push_back(cell(best_other / proposed, 2) + "x");
+  } else {
+    row.emplace_back("-");
+  }
+  table.addRow(std::move(row));
+}
+
+}  // namespace
+
+void schemeSweepTable(
+    std::ostream& os, const hw::MachineSpec& machine,
+    const std::function<workloads::Workload(std::size_t)>& make_workload,
+    const std::vector<std::size_t>& dims,
+    const std::vector<schemes::Scheme>& scheme_list, int n_ops,
+    int iterations, int warmup) {
+  Table table(headersFor("dim (packed size)", scheme_list));
+  for (const auto dim : dims) {
+    const auto wl = make_workload(dim);
+    std::vector<double> lat(scheme_list.size());
+    for (std::size_t i = 0; i < scheme_list.size(); ++i) {
+      lat[i] = runOne(machine, scheme_list[i], wl, n_ops, iterations, warmup);
+    }
+    addSweepRow(table,
+                std::to_string(dim) + " (" + formatBytes(wl.packedBytes()) +
+                    ")",
+                scheme_list, lat);
+  }
+  table.print(os);
+}
+
+void neighborSweepTable(std::ostream& os, const hw::MachineSpec& machine,
+                        const workloads::Workload& workload,
+                        const std::vector<int>& neighbor_counts,
+                        const std::vector<schemes::Scheme>& scheme_list,
+                        int iterations, int warmup) {
+  Table table(headersFor("#buffers", scheme_list));
+  for (const int n : neighbor_counts) {
+    std::vector<double> lat(scheme_list.size());
+    for (std::size_t i = 0; i < scheme_list.size(); ++i) {
+      lat[i] =
+          runOne(machine, scheme_list[i], workload, n, iterations, warmup);
+    }
+    addSweepRow(table, std::to_string(n), scheme_list, lat);
+  }
+  table.print(os);
+}
+
+}  // namespace dkf::bench

@@ -1,0 +1,33 @@
+// Shared sweep drivers for the figure benches: scheme-comparison tables
+// over a workload-size sweep (Figs. 12/13) or a neighbor-count sweep
+// (Figs. 9/10).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.hpp"
+
+namespace dkf::bench {
+
+/// Print a table: rows = `dims` (workload sizes), columns = `schemes`,
+/// cells = mean bulk-exchange latency; plus a speedup column of
+/// best-other / Proposed. `make_workload` maps a dim to the workload.
+void schemeSweepTable(
+    std::ostream& os, const hw::MachineSpec& machine,
+    const std::function<workloads::Workload(std::size_t)>& make_workload,
+    const std::vector<std::size_t>& dims,
+    const std::vector<schemes::Scheme>& scheme_list, int n_ops,
+    int iterations = 30, int warmup = 5);
+
+/// Print a table: rows = neighbor counts (number of buffers), columns =
+/// schemes (Figs. 9/10).
+void neighborSweepTable(std::ostream& os, const hw::MachineSpec& machine,
+                        const workloads::Workload& workload,
+                        const std::vector<int>& neighbor_counts,
+                        const std::vector<schemes::Scheme>& scheme_list,
+                        int iterations = 30, int warmup = 5);
+
+}  // namespace dkf::bench

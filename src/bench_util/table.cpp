@@ -1,0 +1,71 @@
+#include "bench_util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace dkf::bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  DKF_CHECK_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  printRow(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string cellUs(double microseconds) {
+  char buf[64];
+  if (microseconds >= 10'000.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", microseconds / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f us", microseconds);
+  }
+  return buf;
+}
+
+void banner(std::ostream& os, const std::string& title,
+            const std::string& subtitle) {
+  os << '\n' << std::string(78, '=') << '\n' << title << '\n';
+  if (!subtitle.empty()) os << subtitle << '\n';
+  os << std::string(78, '=') << '\n';
+}
+
+}  // namespace dkf::bench

@@ -1,0 +1,35 @@
+// Minimal fixed-width table/series printer for the benchmark binaries:
+// every bench prints the same rows/series the corresponding paper figure
+// plots, so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dkf::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  /// Render with column auto-sizing to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision helpers for table cells.
+std::string cell(double value, int precision = 2);
+std::string cellUs(double microseconds);
+
+/// Section banner printed before each figure's output.
+void banner(std::ostream& os, const std::string& title,
+            const std::string& subtitle = "");
+
+}  // namespace dkf::bench

@@ -1,0 +1,13 @@
+#include "common/check.hpp"
+
+namespace dkf::detail {
+
+void checkFailed(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "DKF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace dkf::detail

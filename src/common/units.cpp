@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dkf {
+
+DurationNs BytesPerSecond::transferTime(std::size_t bytes) const {
+  if (bytes == 0 || value <= 0.0) return 0;
+  const double t = static_cast<double>(bytes) / bytesPerNs();
+  return static_cast<DurationNs>(std::ceil(t));
+}
+
+std::string formatDuration(DurationNs d) {
+  char buf[64];
+  if (d < 10'000ull) {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(d));
+  } else if (d < 10'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.2f us", toUs(d));
+  } else if (d < 10'000'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", toMs(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", toSec(d));
+  }
+  return buf;
+}
+
+std::string formatBytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes < 1024ull) {
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  } else if (bytes < 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(bytes) / 1024.0);
+  } else if (bytes < 1024ull * 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace dkf

@@ -1,0 +1,56 @@
+// Time and size units used throughout the simulator.
+//
+// All simulated time is kept in integral nanoseconds (`TimeNs` for absolute
+// virtual time, `DurationNs` for intervals). Integral time keeps the
+// discrete-event engine fully deterministic: there is no floating-point
+// accumulation anywhere on the clock path. Bandwidth/latency models compute
+// in double precision and round to whole nanoseconds at the event boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dkf {
+
+/// Absolute virtual time in nanoseconds since the start of a simulation.
+using TimeNs = std::uint64_t;
+/// A span of virtual time in nanoseconds.
+using DurationNs = std::uint64_t;
+
+/// Construct durations readably: `us(12)` is 12 microseconds.
+constexpr DurationNs ns(std::uint64_t v) { return v; }
+constexpr DurationNs us(std::uint64_t v) { return v * 1000ull; }
+constexpr DurationNs ms(std::uint64_t v) { return v * 1000'000ull; }
+constexpr DurationNs sec(std::uint64_t v) { return v * 1000'000'000ull; }
+
+/// Convert a duration to double microseconds/milliseconds for reporting.
+constexpr double toUs(DurationNs d) { return static_cast<double>(d) / 1e3; }
+constexpr double toMs(DurationNs d) { return static_cast<double>(d) / 1e6; }
+constexpr double toSec(DurationNs d) { return static_cast<double>(d) / 1e9; }
+
+/// Byte-size helpers.
+constexpr std::size_t KiB(std::size_t v) { return v * 1024ull; }
+constexpr std::size_t MiB(std::size_t v) { return v * 1024ull * 1024ull; }
+constexpr std::size_t GiB(std::size_t v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Bandwidth expressed in bytes per second; stored as double because link
+/// speeds (e.g. 75 GB/s) exceed what fits comfortably in per-ns integers.
+struct BytesPerSecond {
+  double value{0.0};
+
+  constexpr double bytesPerNs() const { return value / 1e9; }
+
+  /// Time to move `bytes` at this bandwidth, rounded up to whole ns.
+  DurationNs transferTime(std::size_t bytes) const;
+};
+
+/// `GBps(75)` == 75 gigabytes per second (decimal GB, as vendors quote).
+constexpr BytesPerSecond GBps(double v) { return BytesPerSecond{v * 1e9}; }
+constexpr BytesPerSecond MBps(double v) { return BytesPerSecond{v * 1e6}; }
+
+/// Human-readable formatting for reports: "12.3 us", "4.56 ms".
+std::string formatDuration(DurationNs d);
+/// Human-readable byte counts: "512 KiB", "3.0 MiB".
+std::string formatBytes(std::size_t bytes);
+
+}  // namespace dkf

@@ -1,0 +1,128 @@
+#include "core/request_list.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dkf::core {
+
+RequestList::RequestList(std::size_t capacity) : slots_(capacity) {
+  DKF_CHECK(capacity > 0);
+}
+
+std::int64_t RequestList::tryEnqueue(FusionRequest req) {
+  if (full()) {
+    ++total_rejected_;
+    return -1;
+  }
+  // Move Tail to the next IDLE entry (out-of-order retirement can leave
+  // holes anywhere in the ring).
+  while (slots_[tail_].request_status != Status::Idle) {
+    tail_ = (tail_ + 1) % slots_.size();
+  }
+  const std::size_t slot_index = tail_;
+  tail_ = (tail_ + 1) % slots_.size();
+
+  req.uid = next_uid_++;
+  req.request_status = Status::Pending;
+  req.response_status = Status::Idle;
+  const std::size_t bytes = req.bytes();
+  slots_[slot_index] = std::move(req);
+
+  ++occupied_;
+  ++pending_;
+  pending_bytes_ += bytes;
+  ++total_enqueued_;
+  return slots_[slot_index].uid;
+}
+
+std::vector<std::size_t> RequestList::claimPendingBatch(
+    std::size_t max_requests) {
+  std::vector<std::size_t> batch;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].request_status == Status::Pending) batch.push_back(i);
+  }
+  std::sort(batch.begin(), batch.end(),
+            [this](std::size_t a, std::size_t b) {
+              return slots_[a].uid < slots_[b].uid;
+            });
+  if (batch.size() > max_requests) batch.resize(max_requests);
+  for (std::size_t i : batch) {
+    FusionRequest& r = slots_[i];
+    r.request_status = Status::Busy;
+    --pending_;
+    pending_bytes_ -= r.bytes();
+    ++busy_;
+  }
+  return batch;
+}
+
+void RequestList::signalCompletion(std::size_t slot_index) {
+  FusionRequest& r = slot(slot_index);
+  DKF_CHECK_MSG(r.request_status == Status::Busy,
+                "completion signalled for non-busy slot " << slot_index);
+  r.response_status = Status::Completed;
+  r.request_status = Status::Completed;
+  --busy_;
+}
+
+bool RequestList::queryAndRetire(std::int64_t uid) {
+  const std::size_t index = slotOfUid(uid);
+  if (index == slots_.size()) return true;  // already retired
+  FusionRequest& r = slots_[index];
+  if (r.response_status != Status::Completed) return false;
+  // Retire: recycle the slot.
+  r = FusionRequest{};
+  DKF_CHECK(occupied_ > 0);
+  --occupied_;
+  ++total_retired_;
+  return true;
+}
+
+FusionRequest& RequestList::slot(std::size_t index) {
+  DKF_CHECK(index < slots_.size());
+  return slots_[index];
+}
+
+const FusionRequest& RequestList::slot(std::size_t index) const {
+  DKF_CHECK(index < slots_.size());
+  return slots_[index];
+}
+
+std::size_t RequestList::slotOfUid(std::int64_t uid) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].request_status != Status::Idle && slots_[i].uid == uid) {
+      return i;
+    }
+  }
+  return slots_.size();
+}
+
+void RequestList::checkInvariants() const {
+  std::size_t pending = 0, busy = 0, occupied = 0, pending_bytes = 0;
+  for (const FusionRequest& r : slots_) {
+    switch (r.request_status) {
+      case Status::Idle:
+        break;
+      case Status::Pending:
+        ++pending;
+        ++occupied;
+        pending_bytes += r.bytes();
+        break;
+      case Status::Busy:
+        ++busy;
+        ++occupied;
+        break;
+      case Status::Completed:
+        ++occupied;
+        break;
+    }
+  }
+  DKF_CHECK(pending == pending_);
+  DKF_CHECK(busy == busy_);
+  DKF_CHECK(occupied == occupied_);
+  DKF_CHECK(pending_bytes == pending_bytes_);
+  DKF_CHECK(total_enqueued_ == total_retired_ + occupied_);
+}
+
+}  // namespace dkf::core

@@ -1,0 +1,104 @@
+// The fusion framework's request list (§IV-A1).
+//
+// A fixed-capacity circular buffer of requests. Each entry carries exactly
+// the fields the paper enumerates: UID, requested operation (Packing /
+// Unpacking / DirectIPC), origin buffer, target buffer, cached data layout,
+// request status (written by the host-side scheduler) and response status
+// (written only by the "GPU" — in the simulator, by the fused kernel's
+// per-op completion events). The scheduler maintains Head and Tail indices
+// to know which requests are pending to be fused.
+//
+// When the list is full, tryEnqueue returns a negative UID and the caller
+// takes its fallback path (§IV-A2 ①).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddt/layout.hpp"
+#include "gpu/memory.hpp"
+
+namespace dkf::core {
+
+enum class FusionOp : std::uint8_t { Packing, Unpacking, DirectIPC };
+
+enum class Status : std::uint8_t { Idle, Pending, Busy, Completed };
+
+struct FusionRequest {
+  std::int64_t uid{-1};
+  FusionOp op{FusionOp::Packing};
+  gpu::MemSpan origin{};            ///< non-contiguous src (pack/direct) or
+                                    ///< contiguous src (unpack)
+  gpu::MemSpan target{};            ///< contiguous dst (pack) or
+                                    ///< non-contiguous dst (unpack/direct)
+  ddt::LayoutPtr layout{};          ///< layout of the non-contiguous side
+  ddt::LayoutPtr target_layout{};   ///< DirectIPC only: dst layout
+  Status request_status{Status::Idle};
+  Status response_status{Status::Idle};
+
+  std::size_t bytes() const { return layout ? layout->size() : 0; }
+};
+
+class RequestList {
+ public:
+  explicit RequestList(std::size_t capacity);
+
+  std::size_t capacity() const { return slots_.size(); }
+  /// Requests enqueued but not yet handed to a fused kernel.
+  std::size_t pendingCount() const { return pending_; }
+  /// Sum of bytes over pending requests — the fusion-threshold input.
+  std::size_t pendingBytes() const { return pending_bytes_; }
+  /// Requests currently executing on the GPU.
+  std::size_t busyCount() const { return busy_; }
+  /// Entries occupied (pending + busy + completed-not-yet-retired).
+  std::size_t occupied() const { return occupied_; }
+  bool full() const { return occupied_ == slots_.size(); }
+  bool empty() const { return occupied_ == 0; }
+
+  /// ① Insert at Tail. Returns the assigned UID, or -1 if the list is full
+  /// (caller falls back). The entry starts in Pending.
+  std::int64_t tryEnqueue(FusionRequest req);
+
+  /// Collect up to `max_requests` pending slot indices (oldest first) and
+  /// mark them Busy — the batch for one fused kernel (② in Fig. 5).
+  std::vector<std::size_t> claimPendingBatch(std::size_t max_requests);
+
+  /// ③ GPU-side completion: the fused kernel signals a request by writing
+  /// its response status (no host synchronization involved).
+  void signalCompletion(std::size_t slot);
+
+  /// ④ Status query by UID: Completed entries are retired (slot recycled to
+  /// Idle, Head advances past retired prefixes). Unknown UIDs are treated
+  /// as already retired — they were completed and reclaimed earlier.
+  bool queryAndRetire(std::int64_t uid);
+
+  /// Direct slot access for the fused-kernel builder.
+  FusionRequest& slot(std::size_t index);
+  const FusionRequest& slot(std::size_t index) const;
+
+  std::size_t totalEnqueued() const { return total_enqueued_; }
+  std::size_t totalRejected() const { return total_rejected_; }
+  std::size_t totalRetired() const { return total_retired_; }
+
+  /// Invariant audit used by tests: counters match a full scan.
+  void checkInvariants() const;
+
+ private:
+  std::size_t slotOfUid(std::int64_t uid) const;
+
+  std::vector<FusionRequest> slots_;
+  std::size_t tail_{0};  ///< insertion scan position ("Tail moves to the
+                         ///< next IDLE entry", §IV-A2); the Head of the
+                         ///< paper is implicit — batches claim the oldest
+                         ///< pending requests by UID order
+  std::size_t occupied_{0};
+  std::size_t pending_{0};
+  std::size_t pending_bytes_{0};
+  std::size_t busy_{0};
+  std::int64_t next_uid_{0};
+  std::size_t total_enqueued_{0};
+  std::size_t total_rejected_{0};
+  std::size_t total_retired_{0};
+};
+
+}  // namespace dkf::core

@@ -1,0 +1,85 @@
+#include "core/scheduler.hpp"
+
+namespace dkf::core {
+
+FusionScheduler::FusionScheduler(sim::Engine& eng, sim::CpuTimeline& cpu,
+                                 gpu::Gpu& gpu, FusionPolicy policy)
+    : eng_(&eng),
+      cpu_(&cpu),
+      gpu_(&gpu),
+      policy_(policy),
+      list_(policy.list_capacity),
+      stream_(gpu.createStream()) {}
+
+sim::Task<std::int64_t> FusionScheduler::enqueue(FusionRequest req) {
+  co_await cpu_->busy(policy_.enqueue_cost);
+  breakdown_.scheduling += policy_.enqueue_cost;
+  const std::int64_t uid = list_.tryEnqueue(std::move(req));
+  if (uid < 0) co_return uid;  // full: caller falls back (§IV-A2 ①)
+
+  if (list_.pendingBytes() >= policy_.threshold_bytes ||
+      list_.pendingCount() >= policy_.max_requests_per_kernel) {
+    co_await launchBatch();  // scenario 2: enough work to hide the launch
+  }
+  co_return uid;
+}
+
+sim::Task<void> FusionScheduler::flush() {
+  while (list_.pendingCount() > 0) {
+    co_await launchBatch();  // scenario 1: progress engine is blocking
+  }
+}
+
+sim::Task<void> FusionScheduler::launchBatch() {
+  const std::vector<std::size_t> batch =
+      list_.claimPendingBatch(policy_.max_requests_per_kernel);
+  if (batch.empty()) co_return;
+
+  std::vector<gpu::Gpu::Op> ops;
+  ops.reserve(batch.size());
+  for (const std::size_t slot_index : batch) {
+    FusionRequest& r = list_.slot(slot_index);
+    gpu::Gpu::Op op;
+    switch (r.op) {
+      case FusionOp::Packing:
+        op.kind = gpu::Gpu::Op::Kind::Pack;
+        op.layout = r.layout;
+        op.src = r.origin.bytes;
+        op.dst = r.target.bytes;
+        break;
+      case FusionOp::Unpacking:
+        op.kind = gpu::Gpu::Op::Kind::Unpack;
+        op.layout = r.layout;
+        op.src = r.origin.bytes;
+        op.dst = r.target.bytes;
+        break;
+      case FusionOp::DirectIPC:
+        op.kind = gpu::Gpu::Op::Kind::StridedCopy;
+        op.layout = r.layout;
+        op.dst_layout = r.target_layout;
+        op.src = r.origin.bytes;
+        op.dst = r.target.bytes;
+        break;
+    }
+    // ③: the GPU thread block signals the response status directly.
+    RequestList* list = &list_;
+    op.on_complete = [list, slot_index] { list->signalCompletion(slot_index); };
+    ops.push_back(std::move(op));
+  }
+
+  // ONE kernel launch overhead for the whole batch — the point of fusion.
+  co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
+  breakdown_.launching += gpu_->spec().kernel_launch_overhead;
+
+  const auto handle = gpu_->launchKernel(stream_, std::move(ops));
+  breakdown_.pack_unpack += handle.end - handle.start;
+  ++kernels_;
+  requests_fused_ += batch.size();
+}
+
+bool FusionScheduler::query(std::int64_t uid) {
+  breakdown_.synchronize += policy_.query_cost;
+  return list_.queryAndRetire(uid);
+}
+
+}  // namespace dkf::core

@@ -1,0 +1,310 @@
+#include "ddt/datatype.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dkf::ddt {
+
+namespace {
+
+/// Envelope [lo, hi) in bytes occupied by a child entry.
+struct Envelope {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+Envelope childEnvelope(const DatatypePtr& type, std::size_t blocklength,
+                       std::int64_t displ) {
+  const auto span =
+      static_cast<std::int64_t>(blocklength * type->extent());
+  return Envelope{displ + type->lb(), displ + type->lb() + span};
+}
+
+}  // namespace
+
+std::uint64_t Datatype::nextId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+DatatypePtr Datatype::makePrimitive(std::string name, std::size_t size) {
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Primitive;
+  t->id_ = nextId();
+  t->name_ = std::move(name);
+  t->size_ = size;
+  t->extent_ = size;
+  return t;
+}
+
+DatatypePtr Datatype::byte() {
+  static const DatatypePtr t = makePrimitive("byte", 1);
+  return t;
+}
+DatatypePtr Datatype::char_() {
+  static const DatatypePtr t = makePrimitive("char", 1);
+  return t;
+}
+DatatypePtr Datatype::int32() {
+  static const DatatypePtr t = makePrimitive("int32", 4);
+  return t;
+}
+DatatypePtr Datatype::int64() {
+  static const DatatypePtr t = makePrimitive("int64", 8);
+  return t;
+}
+DatatypePtr Datatype::float32() {
+  static const DatatypePtr t = makePrimitive("float", 4);
+  return t;
+}
+DatatypePtr Datatype::float64() {
+  static const DatatypePtr t = makePrimitive("double", 8);
+  return t;
+}
+DatatypePtr Datatype::complexDouble() {
+  static const DatatypePtr t = makePrimitive("complex<double>", 16);
+  return t;
+}
+
+DatatypePtr Datatype::contiguous(std::size_t count, DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Contiguous;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "contiguous(" << count << ", " << old->describe() << ")";
+  t->name_ = os.str();
+  if (count > 0) t->children_.push_back(Child{old, count, 0});
+  t->size_ = count * old->size();
+  t->lb_ = count > 0 ? old->lb() : 0;
+  t->extent_ = count * old->extent();
+  return t;
+}
+
+DatatypePtr Datatype::vector(std::size_t count, std::size_t blocklength,
+                             std::int64_t stride, DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  return hvector(count, blocklength,
+                 stride * static_cast<std::int64_t>(old->extent()), old);
+}
+
+DatatypePtr Datatype::hvector(std::size_t count, std::size_t blocklength,
+                              std::int64_t stride_bytes, DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Hvector;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "hvector(" << count << ", " << blocklength << ", " << stride_bytes
+     << "B, " << old->describe() << ")";
+  t->name_ = os.str();
+  t->children_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    t->children_.push_back(
+        Child{old, blocklength, static_cast<std::int64_t>(i) * stride_bytes});
+  }
+  t->size_ = count * blocklength * old->size();
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const Child& c : t->children_) {
+    const Envelope e = childEnvelope(c.type, c.blocklength, c.displacement_bytes);
+    lo = first ? e.lo : std::min(lo, e.lo);
+    hi = first ? e.hi : std::max(hi, e.hi);
+    first = false;
+  }
+  t->lb_ = lo;
+  t->extent_ = static_cast<std::size_t>(hi - lo);
+  return t;
+}
+
+DatatypePtr Datatype::indexed(std::span<const std::size_t> blocklengths,
+                              std::span<const std::int64_t> displacements,
+                              DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  DKF_CHECK(blocklengths.size() == displacements.size());
+  std::vector<std::int64_t> byte_displs(displacements.size());
+  for (std::size_t i = 0; i < displacements.size(); ++i) {
+    byte_displs[i] =
+        displacements[i] * static_cast<std::int64_t>(old->extent());
+  }
+  auto t = hindexed(blocklengths, byte_displs, std::move(old));
+  // hindexed() tagged it; relabel for accurate introspection.
+  const_cast<Datatype&>(*t).kind_ = Kind::Indexed;
+  return t;
+}
+
+DatatypePtr Datatype::hindexed(std::span<const std::size_t> blocklengths,
+                               std::span<const std::int64_t> displacement_bytes,
+                               DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  DKF_CHECK(blocklengths.size() == displacement_bytes.size());
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Hindexed;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "hindexed(" << blocklengths.size() << " blocks, " << old->describe()
+     << ")";
+  t->name_ = os.str();
+  t->children_.reserve(blocklengths.size());
+  std::size_t total = 0;
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < blocklengths.size(); ++i) {
+    t->children_.push_back(Child{old, blocklengths[i], displacement_bytes[i]});
+    total += blocklengths[i] * old->size();
+    const Envelope e = childEnvelope(old, blocklengths[i], displacement_bytes[i]);
+    lo = first ? e.lo : std::min(lo, e.lo);
+    hi = first ? e.hi : std::max(hi, e.hi);
+    first = false;
+  }
+  t->size_ = total;
+  t->lb_ = first ? 0 : lo;
+  t->extent_ = first ? 0 : static_cast<std::size_t>(hi - lo);
+  return t;
+}
+
+DatatypePtr Datatype::indexedBlock(std::size_t blocklength,
+                                   std::span<const std::int64_t> displacements,
+                                   DatatypePtr old) {
+  std::vector<std::size_t> blocklengths(displacements.size(), blocklength);
+  auto t = indexed(blocklengths, displacements, std::move(old));
+  const_cast<Datatype&>(*t).kind_ = Kind::IndexedBlock;
+  return t;
+}
+
+DatatypePtr Datatype::struct_(std::span<const std::size_t> blocklengths,
+                              std::span<const std::int64_t> displacement_bytes,
+                              std::span<const DatatypePtr> types) {
+  DKF_CHECK(blocklengths.size() == displacement_bytes.size());
+  DKF_CHECK(blocklengths.size() == types.size());
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Struct;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "struct(" << types.size() << " members)";
+  t->name_ = os.str();
+  std::size_t total = 0;
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    DKF_CHECK(types[i] != nullptr);
+    t->children_.push_back(
+        Child{types[i], blocklengths[i], displacement_bytes[i]});
+    total += blocklengths[i] * types[i]->size();
+    const Envelope e =
+        childEnvelope(types[i], blocklengths[i], displacement_bytes[i]);
+    lo = first ? e.lo : std::min(lo, e.lo);
+    hi = first ? e.hi : std::max(hi, e.hi);
+    first = false;
+  }
+  t->size_ = total;
+  t->lb_ = first ? 0 : lo;
+  t->extent_ = first ? 0 : static_cast<std::size_t>(hi - lo);
+  return t;
+}
+
+DatatypePtr Datatype::subarray(std::span<const std::size_t> sizes,
+                               std::span<const std::size_t> subsizes,
+                               std::span<const std::size_t> starts,
+                               Order order, DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  const std::size_t ndims = sizes.size();
+  DKF_CHECK(ndims > 0);
+  DKF_CHECK(subsizes.size() == ndims && starts.size() == ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    DKF_CHECK_MSG(starts[d] + subsizes[d] <= sizes[d],
+                  "subarray dim " << d << " out of bounds");
+  }
+
+  // Normalize to C order internally (dimension ndims-1 fastest-varying).
+  std::vector<std::size_t> cs(sizes.begin(), sizes.end());
+  std::vector<std::size_t> csub(subsizes.begin(), subsizes.end());
+  std::vector<std::size_t> cstart(starts.begin(), starts.end());
+  if (order == Order::Fortran) {
+    std::reverse(cs.begin(), cs.end());
+    std::reverse(csub.begin(), csub.end());
+    std::reverse(cstart.begin(), cstart.end());
+  }
+
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Subarray;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "subarray(" << ndims << "D, " << old->describe() << ")";
+  t->name_ = os.str();
+
+  // Row strides (in elements of `old`) for each dimension, C order.
+  std::vector<std::size_t> stride(ndims, 1);
+  for (std::size_t d = ndims - 1; d > 0; --d) {
+    stride[d - 1] = stride[d] * cs[d];
+  }
+
+  // Enumerate every contiguous "row" (a run along the fastest dimension).
+  std::size_t nrows = 1;
+  for (std::size_t d = 0; d + 1 < ndims; ++d) nrows *= csub[d];
+  const std::size_t rowlen = ndims > 0 ? csub[ndims - 1] : 0;
+
+  bool empty = rowlen == 0;
+  for (std::size_t d = 0; d < ndims; ++d) empty = empty || csub[d] == 0;
+
+  if (!empty) {
+    t->children_.reserve(nrows);
+    std::vector<std::size_t> idx(ndims > 1 ? ndims - 1 : 0, 0);
+    for (std::size_t r = 0; r < nrows; ++r) {
+      std::size_t elem_off = cstart[ndims - 1] * stride[ndims - 1];
+      for (std::size_t d = 0; d + 1 < ndims; ++d) {
+        elem_off += (cstart[d] + idx[d]) * stride[d];
+      }
+      t->children_.push_back(Child{
+          old, rowlen,
+          static_cast<std::int64_t>(elem_off * old->extent())});
+      // Odometer increment over the slower dimensions.
+      for (std::size_t d = ndims - 1; d-- > 0;) {
+        if (++idx[d] < csub[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+
+  std::size_t nelem = 1;
+  for (std::size_t d = 0; d < ndims; ++d) nelem *= csub[d];
+  std::size_t full = 1;
+  for (std::size_t d = 0; d < ndims; ++d) full *= cs[d];
+  t->size_ = empty ? 0 : nelem * old->size();
+  t->lb_ = 0;
+  // Per MPI, a subarray's extent spans the whole containing array.
+  t->extent_ = full * old->extent();
+  return t;
+}
+
+DatatypePtr Datatype::resized(std::int64_t lb, std::size_t extent,
+                              DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
+  auto t = std::shared_ptr<Datatype>(new Datatype());
+  t->kind_ = Kind::Resized;
+  t->id_ = nextId();
+  std::ostringstream os;
+  os << "resized(lb=" << lb << ", extent=" << extent << ", " << old->describe()
+     << ")";
+  t->name_ = os.str();
+  t->children_.push_back(Child{std::move(old), 1, 0});
+  t->size_ = t->children_[0].type->size();
+  t->lb_ = lb;
+  t->extent_ = extent;
+  return t;
+}
+
+bool Datatype::isContiguousType() const {
+  // With non-overlapping types (all of ours), size == extent and lb == 0
+  // implies a single gap-free run starting at the element origin.
+  return size_ == extent_ && lb_ == 0;
+}
+
+std::string Datatype::describe() const {
+  return name_.empty() ? std::string("<anonymous>") : name_;
+}
+
+}  // namespace dkf::ddt

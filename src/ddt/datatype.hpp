@@ -1,0 +1,159 @@
+// MPI derived-datatype algebra.
+//
+// `Datatype` is an immutable tree mirroring the MPI type constructors the
+// paper's workloads use (vector for NAS_MG, nested vector for MILC, indexed
+// for specfem3D_oc, struct-on-indexed for specfem3D_cm, plus the rest of the
+// standard constructors for completeness). Types are built through static
+// factories returning shared_ptr<const Datatype>; sharing makes nested types
+// cheap and gives each distinct type a stable `id()` used as the layout-cache
+// key.
+//
+// Units follow MPI semantics:
+//  - vector/indexed displacements and strides count in multiples of the old
+//    type's *extent*;
+//  - hvector/hindexed/struct displacements count in *bytes*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dkf::ddt {
+
+class Datatype;
+using DatatypePtr = std::shared_ptr<const Datatype>;
+
+class Datatype {
+ public:
+  enum class Kind {
+    Primitive,
+    Contiguous,
+    Vector,
+    Hvector,
+    Indexed,
+    Hindexed,
+    IndexedBlock,
+    Struct,
+    Subarray,
+    Resized,
+  };
+
+  /// Array storage order for subarray types.
+  enum class Order { C, Fortran };
+
+  // ---- Predefined primitives (singletons) ----
+  static DatatypePtr byte();
+  static DatatypePtr char_();
+  static DatatypePtr int32();
+  static DatatypePtr int64();
+  static DatatypePtr float32();
+  static DatatypePtr float64();
+  /// A 2-double complex, as used by MILC su3 matrices.
+  static DatatypePtr complexDouble();
+
+  // ---- Derived constructors (MPI_Type_create_*) ----
+  static DatatypePtr contiguous(std::size_t count, DatatypePtr old);
+  static DatatypePtr vector(std::size_t count, std::size_t blocklength,
+                            std::int64_t stride, DatatypePtr old);
+  static DatatypePtr hvector(std::size_t count, std::size_t blocklength,
+                             std::int64_t stride_bytes, DatatypePtr old);
+  static DatatypePtr indexed(std::span<const std::size_t> blocklengths,
+                             std::span<const std::int64_t> displacements,
+                             DatatypePtr old);
+  static DatatypePtr hindexed(std::span<const std::size_t> blocklengths,
+                              std::span<const std::int64_t> displacement_bytes,
+                              DatatypePtr old);
+  static DatatypePtr indexedBlock(std::size_t blocklength,
+                                  std::span<const std::int64_t> displacements,
+                                  DatatypePtr old);
+  static DatatypePtr struct_(std::span<const std::size_t> blocklengths,
+                             std::span<const std::int64_t> displacement_bytes,
+                             std::span<const DatatypePtr> types);
+  static DatatypePtr subarray(std::span<const std::size_t> sizes,
+                              std::span<const std::size_t> subsizes,
+                              std::span<const std::size_t> starts,
+                              Order order, DatatypePtr old);
+  static DatatypePtr resized(std::int64_t lb, std::size_t extent,
+                             DatatypePtr old);
+
+  Kind kind() const { return kind_; }
+  /// Unique, process-wide stable identifier (layout-cache key component).
+  std::uint64_t id() const { return id_; }
+  /// Number of data bytes one element of this type carries (MPI_Type_size).
+  std::size_t size() const { return size_; }
+  /// Lower bound in bytes (usually 0; settable via resized()).
+  std::int64_t lb() const { return lb_; }
+  /// Extent in bytes: the stride between consecutive elements of this type
+  /// in an array (MPI_Type_get_extent; no alignment epsilon is applied).
+  std::size_t extent() const { return extent_; }
+  /// True if the type describes one gap-free byte run.
+  bool isContiguousType() const;
+  /// Human-readable description, e.g. "vector(16, 4, 32, double)".
+  std::string describe() const;
+
+  /// Visit every contiguous byte run of `count` elements of this type laid
+  /// out starting at byte offset 0 (elements spaced by extent()). Runs are
+  /// emitted in type-definition order and are NOT coalesced; callers wanting
+  /// a canonical layout use flatten() from layout.hpp.
+  template <class F>
+  void forEachBlock(std::size_t count, F&& emit) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      emitBlocks(static_cast<std::int64_t>(i * extent_) + lbOffsetFix(), emit);
+    }
+  }
+
+  ~Datatype() = default;
+
+ private:
+  struct Child {
+    DatatypePtr type;
+    std::size_t blocklength{1};
+    std::int64_t displacement_bytes{0};
+  };
+
+  Datatype() = default;
+
+  template <class F>
+  void emitBlocks(std::int64_t base, F&& emit) const;
+
+  std::int64_t lbOffsetFix() const { return 0; }
+
+  static DatatypePtr makePrimitive(std::string name, std::size_t size);
+  static std::uint64_t nextId();
+
+  Kind kind_{Kind::Primitive};
+  std::uint64_t id_{0};
+  std::string name_;
+  std::size_t size_{0};
+  std::int64_t lb_{0};
+  std::size_t extent_{0};
+  // Generic child list: every derived constructor lowers to
+  // (type, blocklength, byte displacement) triples, which keeps
+  // flattening a single recursion.
+  std::vector<Child> children_;
+};
+
+template <class F>
+void Datatype::emitBlocks(std::int64_t base, F&& emit) const {
+  if (kind_ == Kind::Primitive) {
+    if (size_ > 0) emit(base, size_);
+    return;
+  }
+  for (const Child& c : children_) {
+    const std::int64_t start = base + c.displacement_bytes;
+    if (c.type->isContiguousType()) {
+      // A run of `blocklength` contiguous elements collapses to one block.
+      const std::size_t len = c.blocklength * c.type->size();
+      if (len > 0) emit(start, len);
+    } else {
+      for (std::size_t b = 0; b < c.blocklength; ++b) {
+        c.type->emitBlocks(
+            start + static_cast<std::int64_t>(b * c.type->extent()), emit);
+      }
+    }
+  }
+}
+
+}  // namespace dkf::ddt

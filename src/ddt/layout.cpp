@@ -1,0 +1,89 @@
+#include "ddt/layout.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dkf::ddt {
+
+Layout::Layout(std::vector<Segment> segments, std::size_t extent)
+    : segments_(std::move(segments)), extent_(extent) {
+  // Canonicalize: sort by offset, then coalesce adjacent runs.
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<Segment> merged;
+  merged.reserve(segments_.size());
+  for (const Segment& s : segments_) {
+    if (s.len == 0) continue;
+    if (!merged.empty() &&
+        merged.back().offset + static_cast<std::int64_t>(merged.back().len) ==
+            s.offset) {
+      merged.back().len += s.len;
+    } else {
+      DKF_CHECK_MSG(
+          merged.empty() ||
+              s.offset >= merged.back().offset +
+                              static_cast<std::int64_t>(merged.back().len),
+          "overlapping segments in layout");
+      merged.push_back(s);
+    }
+  }
+  segments_ = std::move(merged);
+  size_ = 0;
+  min_block_ = 0;
+  max_block_ = 0;
+  for (const Segment& s : segments_) {
+    size_ += s.len;
+    min_block_ = min_block_ == 0 ? s.len : std::min(min_block_, s.len);
+    max_block_ = std::max(max_block_, s.len);
+  }
+}
+
+double Layout::meanBlock() const {
+  if (segments_.empty()) return 0.0;
+  return static_cast<double>(size_) / static_cast<double>(segments_.size());
+}
+
+double Layout::density() const {
+  if (extent_ == 0) return 1.0;
+  return static_cast<double>(size_) / static_cast<double>(extent_);
+}
+
+std::int64_t Layout::endOffset() const {
+  return segments_.empty()
+             ? 0
+             : segments_.back().offset +
+                   static_cast<std::int64_t>(segments_.back().len);
+}
+
+Layout flatten(const DatatypePtr& type, std::size_t count) {
+  DKF_CHECK(type != nullptr);
+  std::vector<Segment> segments;
+  type->forEachBlock(count, [&](std::int64_t offset, std::size_t len) {
+    segments.push_back(Segment{offset, len});
+  });
+  return Layout(std::move(segments), count * type->extent());
+}
+
+LayoutPtr LayoutCache::get(const DatatypePtr& type, std::size_t count) {
+  const auto key = std::make_pair(type->id(), count);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto layout = std::make_shared<const Layout>(flatten(type, count));
+  cache_.emplace(key, layout);
+  return layout;
+}
+
+void LayoutCache::clear() {
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dkf::ddt

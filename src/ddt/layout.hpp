@@ -1,0 +1,93 @@
+// Flattened datatype layouts and the layout cache.
+//
+// `flatten(type, count)` lowers a datatype tree to its canonical list of
+// contiguous byte runs ("flattening on the fly", Träff et al. [35]): adjacent
+// runs are coalesced and the list carries the statistics the schemes use for
+// their heuristics — block count, min/mean block size, density. The paper's
+// sparse-vs-dense classification (§V-A: sparse ≥ thousands of small blocks)
+// is computed here.
+//
+// `LayoutCache` memoizes flattening keyed by (datatype id, count), the layout
+// caching scheme of Chu et al. [24] that the fusion framework's requests
+// reference ("data layout: the cached data layout entry", §IV-A1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+
+namespace dkf::ddt {
+
+/// One contiguous byte run: `offset` bytes from the buffer origin, `len`
+/// bytes long. Offsets may be produced negative by exotic lb/stride types;
+/// packing requires them non-negative and checks.
+struct Segment {
+  std::int64_t offset{0};
+  std::size_t len{0};
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Canonical flattened layout of (type, count).
+class Layout {
+ public:
+  Layout() = default;
+  Layout(std::vector<Segment> segments, std::size_t extent);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  /// Total data bytes (sum of segment lengths).
+  std::size_t size() const { return size_; }
+  /// Byte span covered in the origin buffer (count * type extent).
+  std::size_t extent() const { return extent_; }
+  std::size_t blockCount() const { return segments_.size(); }
+  std::size_t minBlock() const { return min_block_; }
+  std::size_t maxBlock() const { return max_block_; }
+  /// Average contiguous run length; the GPU access-efficiency model and the
+  /// hybrid scheme's dense/sparse heuristic key off this.
+  double meanBlock() const;
+  /// size / extent in (0,1]; 1 means gap-free.
+  double density() const;
+  bool isContiguous() const {
+    return segments_.size() <= 1 && size_ == extent_;
+  }
+  /// Lowest byte offset touched (0 for empty layouts).
+  std::int64_t minOffset() const {
+    return segments_.empty() ? 0 : segments_.front().offset;
+  }
+  /// One past the highest byte offset touched.
+  std::int64_t endOffset() const;
+
+ private:
+  std::vector<Segment> segments_;  // sorted by offset, coalesced
+  std::size_t size_{0};
+  std::size_t extent_{0};
+  std::size_t min_block_{0};
+  std::size_t max_block_{0};
+};
+
+using LayoutPtr = std::shared_ptr<const Layout>;
+
+/// Flatten `count` elements of `type` into a canonical layout.
+Layout flatten(const DatatypePtr& type, std::size_t count);
+
+/// Memoizing cache over flatten(), keyed by (type id, count).
+class LayoutCache {
+ public:
+  /// Returns the cached layout, flattening on first use.
+  LayoutPtr get(const DatatypePtr& type, std::size_t count);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t entries() const { return cache_.size(); }
+  void clear();
+
+ private:
+  std::map<std::pair<std::uint64_t, std::size_t>, LayoutPtr> cache_;
+  std::size_t hits_{0};
+  std::size_t misses_{0};
+};
+
+}  // namespace dkf::ddt

@@ -1,0 +1,84 @@
+// Device memory emulation.
+//
+// Each simulated GPU owns a host-side byte arena standing in for its HBM.
+// Every pack/unpack/copy in the simulator moves real bytes inside these
+// arenas, so data correctness is testable end-to-end. `MemSpan` tags a span
+// with the memory space it lives in; the cost models dispatch on the tag
+// (host<->device copies cross the CPU-GPU link, device-local ones use HBM).
+//
+// The allocator is a first-fit free list with coalescing — enough to let
+// long benchmark runs allocate and release staging buffers without growing
+// the arena, and simple enough to verify exhaustively in tests.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dkf::gpu {
+
+enum class MemSpace { Host, Device };
+
+/// A typed view into simulation memory. `device` is the owning GPU's global
+/// id for Device spans, -1 for Host.
+struct MemSpan {
+  std::span<std::byte> bytes{};
+  MemSpace space{MemSpace::Host};
+  int device{-1};
+
+  std::size_t size() const { return bytes.size(); }
+  bool onDevice() const { return space == MemSpace::Device; }
+
+  MemSpan subspan(std::size_t offset, std::size_t len) const {
+    DKF_CHECK(offset + len <= bytes.size());
+    return MemSpan{bytes.subspan(offset, len), space, device};
+  }
+
+  /// Wrap host memory.
+  static MemSpan host(std::span<std::byte> s) {
+    return MemSpan{s, MemSpace::Host, -1};
+  }
+};
+
+/// First-fit free-list allocator over one GPU's arena.
+class DeviceMemory {
+ public:
+  DeviceMemory(std::size_t capacity, int device_id);
+
+  /// Allocate `bytes` aligned to `align` (power of two). Throws
+  /// CheckFailure on exhaustion — simulated out-of-memory is a bug in the
+  /// experiment setup, not a recoverable condition.
+  MemSpan allocate(std::size_t bytes, std::size_t align = 256);
+
+  /// Return a span previously obtained from allocate(). Frees by start
+  /// address; partial frees are not supported.
+  void deallocate(const MemSpan& span);
+
+  std::size_t capacity() const { return arena_.size(); }
+  std::size_t bytesInUse() const { return in_use_; }
+  std::size_t bytesFree() const { return arena_.size() - in_use_; }
+  std::size_t liveAllocations() const { return live_.size(); }
+  int deviceId() const { return device_id_; }
+
+  /// The whole arena (for assertions and fabric copies).
+  std::span<std::byte> arena() { return arena_; }
+
+ private:
+  struct FreeBlock {
+    std::size_t offset;
+    std::size_t len;
+  };
+
+  std::size_t offsetOf(const MemSpan& span) const;
+
+  std::vector<std::byte> arena_;
+  std::vector<FreeBlock> free_list_;           // sorted by offset
+  std::map<std::size_t, std::size_t> live_;    // offset -> padded length
+  std::size_t in_use_{0};
+  int device_id_;
+};
+
+}  // namespace dkf::gpu

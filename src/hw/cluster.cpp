@@ -1,0 +1,47 @@
+#include "hw/cluster.hpp"
+
+#include "common/check.hpp"
+
+namespace dkf::hw {
+
+Node::Node(sim::Engine& eng, const MachineSpec& machine, int node_id,
+           int first_gpu_id)
+    : id_(node_id), spec_(&machine.node) {
+  gpus_.reserve(machine.node.gpus_per_node);
+  for (std::size_t g = 0; g < machine.node.gpus_per_node; ++g) {
+    gpus_.push_back(std::make_unique<gpu::Gpu>(
+        eng, machine.node, first_gpu_id + static_cast<int>(g)));
+  }
+}
+
+gpu::Gpu& Node::gpu(std::size_t local_index) {
+  DKF_CHECK(local_index < gpus_.size());
+  return *gpus_[local_index];
+}
+
+Cluster::Cluster(sim::Engine& eng, MachineSpec machine, std::size_t node_count)
+    : eng_(&eng),
+      machine_(std::move(machine)),
+      fabric_(eng, machine_, node_count) {
+  DKF_CHECK(node_count > 0);
+  nodes_.reserve(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    nodes_.push_back(std::make_unique<Node>(
+        eng, machine_, static_cast<int>(n),
+        static_cast<int>(n * machine_.node.gpus_per_node)));
+  }
+}
+
+Node& Cluster::node(std::size_t i) {
+  DKF_CHECK(i < nodes_.size());
+  return *nodes_[i];
+}
+
+gpu::Gpu& Cluster::gpu(std::size_t global_id) {
+  DKF_CHECK(global_id < gpuCount());
+  const std::size_t n = global_id / machine_.node.gpus_per_node;
+  const std::size_t l = global_id % machine_.node.gpus_per_node;
+  return nodes_[n]->gpu(l);
+}
+
+}  // namespace dkf::hw

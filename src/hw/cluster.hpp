@@ -1,0 +1,58 @@
+// Cluster assembly: nodes of GPUs connected by a fabric, built from a
+// MachineSpec. This is the root object every experiment constructs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "hw/spec.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::hw {
+
+class Node {
+ public:
+  Node(sim::Engine& eng, const MachineSpec& machine, int node_id,
+       int first_gpu_id);
+
+  int id() const { return id_; }
+  std::size_t gpuCount() const { return gpus_.size(); }
+  gpu::Gpu& gpu(std::size_t local_index);
+  const NodeSpec& spec() const { return *spec_; }
+
+ private:
+  int id_;
+  const NodeSpec* spec_;
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& eng, MachineSpec machine, std::size_t node_count);
+
+  const MachineSpec& machine() const { return machine_; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t gpuCount() const {
+    return nodes_.size() * machine_.node.gpus_per_node;
+  }
+
+  Node& node(std::size_t i);
+  /// GPU by global id (node-major order).
+  gpu::Gpu& gpu(std::size_t global_id);
+  int nodeOfGpu(std::size_t global_id) const {
+    return static_cast<int>(global_id / machine_.node.gpus_per_node);
+  }
+
+  net::Fabric& fabric() { return fabric_; }
+  sim::Engine& engine() { return *eng_; }
+
+ private:
+  sim::Engine* eng_;
+  MachineSpec machine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  net::Fabric fabric_;
+};
+
+}  // namespace dkf::hw

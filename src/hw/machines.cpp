@@ -1,0 +1,77 @@
+#include "hw/machines.hpp"
+
+namespace dkf::hw {
+
+GpuSpec gpuK80() {
+  GpuSpec g;
+  g.name = "Tesla K80";
+  g.sm_count = 13;
+  g.blocks_per_sm = 2;
+  g.memory_bytes = 12ull << 30;
+  g.hbm_bandwidth = GBps(240);
+  g.kernel_launch_overhead = ns(12500);
+  g.driver_call_overhead = ns(1600);
+  g.kernel_fixed_cost = ns(1500);
+  return g;
+}
+
+GpuSpec gpuP100() {
+  GpuSpec g;
+  g.name = "Tesla P100";
+  g.sm_count = 56;
+  g.blocks_per_sm = 2;
+  g.memory_bytes = 16ull << 30;
+  g.hbm_bandwidth = GBps(720);
+  g.kernel_launch_overhead = ns(10800);
+  g.driver_call_overhead = ns(1300);
+  g.kernel_fixed_cost = ns(950);
+  return g;
+}
+
+GpuSpec gpuV100() {
+  GpuSpec g;  // defaults in GpuSpec are the V100 numbers
+  return g;
+}
+
+MachineSpec lassen() {
+  MachineSpec m;
+  m.name = "Lassen (POWER9 + V100, NVLink2, IB EDR x2)";
+  m.node.gpus_per_node = 4;
+  m.node.gpu = gpuV100();
+  m.node.cpu_gpu = LinkSpec{"NVLink2 CPU-GPU", ns(1200), GBps(75)};
+  m.node.gpu_gpu = LinkSpec{"NVLink2 GPU-GPU", ns(1100), GBps(75)};
+  m.node.gdrcopy = GdrCopySpec{.available = true,
+                               .latency = ns(400),
+                               .write_bandwidth = GBps(6),
+                               .read_bandwidth = MBps(500)};
+  m.node.host_memcpy_bandwidth = GBps(14);
+  m.internode = LinkSpec{"IB EDR dual-rail", ns(1300), GBps(25)};
+  m.rdma_setup = ns(900);
+  m.eager_threshold = 8192;
+  return m;
+}
+
+MachineSpec abci() {
+  MachineSpec m;
+  m.name = "ABCI (Xeon + V100, PCIe Gen3, IB EDR x2)";
+  m.node.gpus_per_node = 4;
+  GpuSpec g = gpuV100();
+  // Slightly higher driver costs on the x86 + PCIe platform (newer driver,
+  // but no NVLink-attached host; matches the paper's ABCI latencies being
+  // uniformly above Lassen's for CPU-driven paths).
+  g.kernel_launch_overhead = ns(10500);
+  g.driver_call_overhead = ns(1300);
+  m.node.gpu = g;
+  // PCIe Gen3 x16 is 16 GB/s raw; behind the paper's x64 switches the
+  // effective host<->device streaming rate is ~12 GB/s.
+  m.node.cpu_gpu = LinkSpec{"PCIe Gen3 x16 (switched)", ns(1800), GBps(12)};
+  m.node.gpu_gpu = LinkSpec{"NVLink2 GPU-GPU", ns(1100), GBps(50)};
+  m.node.gdrcopy = GdrCopySpec{.available = false};
+  m.node.host_memcpy_bandwidth = GBps(12);
+  m.internode = LinkSpec{"IB EDR x2", ns(1500), GBps(25)};
+  m.rdma_setup = ns(1000);
+  m.eager_threshold = 8192;
+  return m;
+}
+
+}  // namespace dkf::hw

@@ -1,0 +1,23 @@
+// The two evaluation platforms of the paper (Table II), plus the older GPU
+// generations Fig. 1 sweeps across.
+#pragma once
+
+#include "hw/spec.hpp"
+
+namespace dkf::hw {
+
+/// LLNL Lassen: POWER9 + 4x V100, NVLink2 everywhere (CPU<->GPU 75 GB/s),
+/// dual-rail IB EDR, GDRCopy kernel module available.
+MachineSpec lassen();
+
+/// ABCI: Xeon Gold + 4x V100, PCIe Gen3 x16 CPU<->GPU behind shared switches
+/// (effective ~12 GB/s), NVLink2 50 GB/s between GPUs, IB EDR x2. No GDRCopy
+/// module (the paper notes it "may not be available in all HPC systems").
+MachineSpec abci();
+
+/// GPU generations for the Fig. 1 launch-overhead motivation study.
+GpuSpec gpuK80();
+GpuSpec gpuP100();
+GpuSpec gpuV100();
+
+}  // namespace dkf::hw

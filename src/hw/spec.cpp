@@ -1,0 +1,18 @@
+#include "hw/spec.hpp"
+
+#include <algorithm>
+
+namespace dkf::hw {
+
+double GpuSpec::accessEfficiency(double run_bytes) const {
+  if (run_bytes <= 0.0) return min_efficiency;
+  const double frac = run_bytes / static_cast<double>(full_efficiency_run);
+  return std::clamp(frac, min_efficiency, 1.0);
+}
+
+BytesPerSecond MachineSpec::gpuDirectBandwidth() const {
+  return BytesPerSecond{
+      std::min(internode.bandwidth.value, node.cpu_gpu.bandwidth.value)};
+}
+
+}  // namespace dkf::hw

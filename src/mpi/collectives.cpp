@@ -1,0 +1,190 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dkf::mpi {
+
+namespace {
+
+std::size_t elementSize(ReduceType t) {
+  return t == ReduceType::Float64 ? 8 : 8;
+}
+
+/// Apply `op` element-wise: dst[i] = dst[i] op src[i].
+void applyReduce(std::span<std::byte> dst, std::span<const std::byte> src,
+                 std::size_t count, ReduceType type, ReduceOp op) {
+  DKF_CHECK(dst.size() >= count * elementSize(type));
+  DKF_CHECK(src.size() >= count * elementSize(type));
+  auto combine = [op](auto a, auto b) {
+    switch (op) {
+      case ReduceOp::Sum: return a + b;
+      case ReduceOp::Min: return std::min(a, b);
+      case ReduceOp::Max: return std::max(a, b);
+    }
+    return a;
+  };
+  if (type == ReduceType::Float64) {
+    for (std::size_t i = 0; i < count; ++i) {
+      double a, b;
+      std::memcpy(&a, dst.data() + i * 8, 8);
+      std::memcpy(&b, src.data() + i * 8, 8);
+      a = combine(a, b);
+      std::memcpy(dst.data() + i * 8, &a, 8);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::int64_t a, b;
+      std::memcpy(&a, dst.data() + i * 8, 8);
+      std::memcpy(&b, src.data() + i * 8, 8);
+      a = combine(a, b);
+      std::memcpy(dst.data() + i * 8, &a, 8);
+    }
+  }
+}
+
+/// Rank relative to the root (so the tree algorithms can assume root 0).
+int relRank(int rank, int root, int n) { return (rank - root + n) % n; }
+int absRank(int rel, int root, int n) { return (rel + root) % n; }
+
+}  // namespace
+
+sim::Task<void> bcast(Proc& proc, gpu::MemSpan buf, ddt::DatatypePtr type,
+                      std::size_t count, int root, int tag_base) {
+  const int n = proc.worldSize();
+  DKF_CHECK(root >= 0 && root < n);
+  const int me = relRank(proc.rank(), root, n);
+
+  // Binomial tree: in round k (mask = 1<<k), ranks below the mask send to
+  // rank + mask.
+  int mask = 1;
+  // Receive phase: find my parent (the lowest set bit of my relative rank).
+  if (me != 0) {
+    while ((me & mask) == 0) mask <<= 1;
+    const int parent = absRank(me - mask, root, n);
+    auto req = co_await proc.irecv(buf, type, count, parent, tag_base + me);
+    co_await proc.wait(req);
+  } else {
+    while (mask < n) mask <<= 1;
+  }
+  // Send phase: forward to children (me + mask/2, me + mask/4, ...).
+  mask >>= 1;
+  std::vector<RequestPtr> sends;
+  while (mask > 0) {
+    if (me + mask < n && (me & (mask - 1)) == 0 && (me & mask) == 0) {
+      const int child_rel = me + mask;
+      sends.push_back(co_await proc.isend(buf, type, count,
+                                          absRank(child_rel, root, n),
+                                          tag_base + child_rel));
+    }
+    mask >>= 1;
+  }
+  co_await proc.waitall(std::move(sends));
+}
+
+sim::Task<void> reduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
+                       ReduceType type, ReduceOp op, int root, int tag_base) {
+  const int n = proc.worldSize();
+  DKF_CHECK(root >= 0 && root < n);
+  const int me = relRank(proc.rank(), root, n);
+  const std::size_t bytes = count * elementSize(type);
+  DKF_CHECK(buf.size() >= bytes);
+
+  // Binomial reduction: in round k, ranks with bit k set send their
+  // partial result to (me - mask) and leave; others receive and combine.
+  auto scratch = proc.allocDevice(std::max<std::size_t>(bytes, 1));
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (me & mask) {
+      auto req = co_await proc.isend(buf.subspan(0, bytes),
+                                     ddt::Datatype::byte(), bytes,
+                                     absRank(me - mask, root, n),
+                                     tag_base + me);
+      co_await proc.wait(req);
+      break;  // sent my partial up; done participating
+    }
+    if (me + mask < n) {
+      auto req = co_await proc.irecv(scratch, ddt::Datatype::byte(), bytes,
+                                     absRank(me + mask, root, n),
+                                     tag_base + me + mask);
+      co_await proc.wait(req);
+      applyReduce(buf.bytes, scratch.bytes, count, type, op);
+    }
+  }
+  proc.freeDevice(scratch);
+}
+
+sim::Task<void> allreduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
+                          ReduceType type, ReduceOp op, int tag_base) {
+  co_await reduce(proc, buf, count, type, op, /*root=*/0, tag_base);
+  co_await bcast(proc, buf, ddt::Datatype::byte(),
+                 count * elementSize(type), /*root=*/0,
+                 tag_base + (1 << 10));
+}
+
+sim::Task<void> gather(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                       std::size_t bytes_per_rank, int root, int tag_base) {
+  const int n = proc.worldSize();
+  if (proc.rank() == root) {
+    DKF_CHECK(recv.size() >= bytes_per_rank * static_cast<std::size_t>(n));
+    std::vector<RequestPtr> reqs;
+    for (int r = 0; r < n; ++r) {
+      if (r == root) {
+        std::memcpy(recv.bytes.data() +
+                        static_cast<std::size_t>(r) * bytes_per_rank,
+                    send.bytes.data(), bytes_per_rank);
+        continue;
+      }
+      reqs.push_back(co_await proc.irecv(
+          recv.subspan(static_cast<std::size_t>(r) * bytes_per_rank,
+                       bytes_per_rank),
+          ddt::Datatype::byte(), bytes_per_rank, r, tag_base + r));
+    }
+    co_await proc.waitall(std::move(reqs));
+  } else {
+    auto req = co_await proc.isend(send, ddt::Datatype::byte(),
+                                   bytes_per_rank, root,
+                                   tag_base + proc.rank());
+    co_await proc.wait(req);
+  }
+}
+
+sim::Task<void> alltoall(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                         std::size_t bytes_per_rank, int tag_base) {
+  const int n = proc.worldSize();
+  DKF_CHECK(send.size() >= bytes_per_rank * static_cast<std::size_t>(n));
+  DKF_CHECK(recv.size() >= bytes_per_rank * static_cast<std::size_t>(n));
+  std::vector<RequestPtr> reqs;
+  for (int r = 0; r < n; ++r) {
+    const auto off = static_cast<std::size_t>(r) * bytes_per_rank;
+    if (r == proc.rank()) {
+      std::memcpy(recv.bytes.data() + off, send.bytes.data() + off,
+                  bytes_per_rank);
+      continue;
+    }
+    reqs.push_back(co_await proc.irecv(recv.subspan(off, bytes_per_rank),
+                                       ddt::Datatype::byte(), bytes_per_rank,
+                                       r, tag_base + proc.rank()));
+    reqs.push_back(co_await proc.isend(send.subspan(off, bytes_per_rank),
+                                       ddt::Datatype::byte(), bytes_per_rank,
+                                       r, tag_base + r));
+  }
+  co_await proc.waitall(std::move(reqs));
+}
+
+sim::Task<void> neighborAlltoallw(Proc& proc, gpu::MemSpan buf,
+                                  const std::vector<NeighborOp>& ops,
+                                  int tag_base) {
+  std::vector<RequestPtr> reqs;
+  reqs.reserve(ops.size() * 2);
+  for (const NeighborOp& op : ops) {
+    reqs.push_back(co_await proc.irecv(buf, op.recv_type, 1, op.neighbor,
+                                       tag_base + op.recv_tag));
+    reqs.push_back(co_await proc.isend(buf, op.send_type, 1, op.neighbor,
+                                       tag_base + op.send_tag));
+  }
+  co_await proc.waitall(std::move(reqs));
+}
+
+}  // namespace dkf::mpi

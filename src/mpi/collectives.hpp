@@ -1,0 +1,79 @@
+// Collective operations layered on the point-to-point runtime.
+//
+// The halo applications the paper targets use neighborhood collectives
+// (MPI_Neighbor_alltoallw is exactly "send one derived-datatype face to
+// each neighbor"), and the MVAPICH context the fusion framework ships in
+// provides the full collective set. These implementations are textbook
+// algorithms built purely on isend/irecv/waitall, so every collective's
+// non-contiguous traffic automatically flows through the configured DDT
+// engine — a neighbor_alltoallw over subarray types is the fusion
+// framework's best case.
+//
+//   bcast            binomial tree
+//   reduce           binomial tree (data actually reduced)
+//   allreduce        reduce + bcast
+//   gather           flat to root
+//   alltoall         posted pairwise exchange
+//   neighborAlltoallw  per-neighbor derived datatypes (halo collective)
+//
+// All take a `Comm`-like participant list: a contiguous range of ranks
+// [0, nranks) of the runtime (the benchmarks' world).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace dkf::mpi {
+
+/// Binary reduction operator over raw element bytes.
+enum class ReduceOp { Sum, Min, Max };
+
+/// Element type for reductions (the collective needs arithmetic, not just
+/// bytes).
+enum class ReduceType { Float64, Int64 };
+
+/// Broadcast `count` elements of `type` from `root` over a binomial tree.
+/// Every rank calls this with its own proc and buffer.
+sim::Task<void> bcast(Proc& proc, gpu::MemSpan buf, ddt::DatatypePtr type,
+                      std::size_t count, int root, int tag_base = 1 << 20);
+
+/// Reduce element-wise into root's buffer (binomial tree). `buf` holds the
+/// rank's contribution on entry; on the root it holds the result on exit.
+sim::Task<void> reduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
+                       ReduceType type, ReduceOp op, int root,
+                       int tag_base = 1 << 21);
+
+/// Allreduce = reduce to rank 0 + bcast.
+sim::Task<void> allreduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
+                          ReduceType type, ReduceOp op,
+                          int tag_base = 1 << 22);
+
+/// Gather `bytes_per_rank` from every rank into root's `recv` buffer
+/// (rank-major).
+sim::Task<void> gather(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                       std::size_t bytes_per_rank, int root,
+                       int tag_base = 1 << 23);
+
+/// All ranks exchange `bytes_per_rank` with every other rank; `send` and
+/// `recv` are rank-major matrices of worldSize() blocks.
+sim::Task<void> alltoall(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                         std::size_t bytes_per_rank, int tag_base = 1 << 24);
+
+/// Neighborhood alltoall-w: for each neighbor i, send `send_types[i]` from
+/// `buf` and receive `recv_types[i]` into `buf` — the derived-datatype halo
+/// collective (MPI_Neighbor_alltoallw over a cartesian communicator). Tags
+/// pair send i with the neighbor's recv pair_of[i].
+struct NeighborOp {
+  int neighbor;
+  ddt::DatatypePtr send_type;
+  ddt::DatatypePtr recv_type;
+  int send_tag;
+  int recv_tag;
+};
+sim::Task<void> neighborAlltoallw(Proc& proc, gpu::MemSpan buf,
+                                  const std::vector<NeighborOp>& ops,
+                                  int tag_base = 1 << 25);
+
+}  // namespace dkf::mpi

@@ -1,0 +1,79 @@
+// MPI-style request objects for the runtime's non-blocking operations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ddt/layout.hpp"
+#include "gpu/memory.hpp"
+#include "schemes/ddt_engine.hpp"
+
+namespace dkf::mpi {
+
+inline constexpr int kAnyTag = -1;
+inline constexpr int kAnySource = -1;
+
+/// Wire protocol chosen for a message.
+enum class Protocol : std::uint8_t {
+  Eager,      ///< small: data travels with the match
+  RGet,       ///< rendezvous: RTS after pack, receiver RDMA-READs
+  RPut,       ///< rendezvous: RTS first, sender RDMA-WRITEs after CTS
+  DirectIpc,  ///< intra-node zero-copy strided transfer [24]
+};
+
+struct Request {
+  enum class Kind : std::uint8_t { Send, Recv };
+
+  Kind kind{Kind::Send};
+  int owner_rank{-1};
+  int peer{-1};
+  int tag{0};
+  Protocol protocol{Protocol::Eager};
+
+  gpu::MemSpan user_buf{};       ///< the application buffer (origin)
+  ddt::LayoutPtr layout{};       ///< flattened layout of user_buf
+  bool is_contiguous{true};
+  std::size_t data_bytes{0};     ///< packed payload size
+
+  // Staging for packed data (owned -> freed at completion).
+  gpu::MemSpan staging{};
+  bool staging_owned{false};
+  // Eager payload parked at the receiver until unpack finishes.
+  std::vector<std::byte> eager_data;
+
+  // DDT-engine work in flight (pack on the sender, unpack/direct on the
+  // receiver).
+  schemes::Ticket ticket{};
+  bool ticket_pending{false};
+
+  // Protocol state machine.
+  bool pack_done{false};
+  bool rts_sent{false};
+  bool cts_received{false};
+  bool data_in_flight{false};
+  bool data_delivered{false};
+  gpu::MemSpan remote_staging{};      ///< peer's packed buffer (RGet/RPut)
+  ddt::LayoutPtr remote_layout{};     ///< DirectIpc: sender-side layout
+  gpu::MemSpan remote_origin{};       ///< DirectIpc: sender-side buffer
+  bool direct_retry{false};           ///< DirectIpc enqueue must be retried
+  std::shared_ptr<Request> paired{};  ///< peer request during rendezvous
+                                      ///< data movement (cleared at
+                                      ///< completion to break the cycle)
+
+  bool complete{false};
+
+  // Persistent-request support (MPI_Send_init / MPI_Recv_init):
+  bool persistent{false};  ///< a reusable operation template
+  bool active{false};      ///< started and not yet completed+waited
+
+  /// Matching key check for receives (peer may be kAnySource, tag kAnyTag).
+  bool matches(int src_rank, int msg_tag) const {
+    return (peer == kAnySource || peer == src_rank) &&
+           (tag == kAnyTag || tag == msg_tag);
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace dkf::mpi

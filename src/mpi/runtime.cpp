@@ -1,0 +1,601 @@
+#include "mpi/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dkf::mpi {
+
+// ---------------------------------------------------------------- Proc ----
+
+Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
+    : rt_(&rt),
+      rank_(rank),
+      gpu_(&gpu),
+      cpu_(std::make_unique<sim::CpuTimeline>(rt.engine())) {
+  core::FusionPolicy tuned;
+  const RuntimeConfig& cfg = rt.config();
+  if (cfg.tuned_threshold > 0) tuned.threshold_bytes = cfg.tuned_threshold;
+  if (cfg.tuned_list_capacity > 0) tuned.list_capacity = cfg.tuned_list_capacity;
+  if (cfg.tuned_max_requests > 0) {
+    tuned.max_requests_per_kernel = cfg.tuned_max_requests;
+  }
+  engine_ = schemes::makeEngine(cfg.scheme, rt.engine(), *cpu_, gpu, tuned);
+}
+
+int Proc::worldSize() const { return rt_->worldSize(); }
+
+sim::Engine& Proc::engine() { return rt_->engine(); }
+
+gpu::MemSpan Proc::allocDevice(std::size_t bytes) {
+  return gpu_->memory().allocate(bytes);
+}
+
+void Proc::freeDevice(const gpu::MemSpan& span) {
+  gpu_->memory().deallocate(span);
+}
+
+RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
+                             const ddt::DatatypePtr& type, std::size_t count,
+                             int peer, int tag) {
+  auto layout = layout_cache_.get(type, count);
+  auto req = std::make_shared<Request>();
+  req->kind = kind;
+  req->owner_rank = rank_;
+  req->peer = peer;
+  req->tag = tag;
+  req->user_buf = buf;
+  req->layout = layout;
+  req->data_bytes = layout->size();
+  req->is_contiguous = layout->isContiguous() && layout->minOffset() == 0;
+  return req;
+}
+
+void Proc::resetActivationState(Request& req) {
+  req.staging = {};
+  req.staging_owned = false;
+  req.eager_data.clear();
+  req.ticket = {};
+  req.ticket_pending = false;
+  req.pack_done = false;
+  req.rts_sent = false;
+  req.cts_received = false;
+  req.data_in_flight = false;
+  req.data_delivered = false;
+  req.remote_staging = {};
+  req.remote_layout = {};
+  req.remote_origin = {};
+  req.direct_retry = false;
+  req.paired.reset();
+  req.complete = false;
+}
+
+sim::Task<void> Proc::activateSend(RequestPtr req) {
+  const auto& machine = rt_->cluster().machine();
+  const bool intra = rt_->sameNode(rank_, req->peer);
+
+  if (!req->is_contiguous && intra && rt_->config().enable_direct_ipc &&
+      engine_->supportsDirect()) {
+    // Zero-copy path: no packing at all; the receiver pulls with a strided
+    // kernel over NVLink ([24]). The RTS carries the layout handle.
+    req->protocol = Protocol::DirectIpc;
+    req->pack_done = true;
+    co_await issueRts(req);
+  } else {
+    if (req->is_contiguous) {
+      req->staging = req->data_bytes > 0
+                         ? req->user_buf.subspan(0, req->data_bytes)
+                         : req->user_buf.subspan(0, 0);
+      req->pack_done = true;
+    } else {
+      DKF_CHECK_MSG(req->user_buf.onDevice(),
+                    "non-contiguous send buffers must be GPU-resident");
+      req->staging = allocDevice(req->data_bytes);
+      req->staging_owned = true;
+      req->ticket =
+          co_await engine_->submitPack(req->layout, req->user_buf, req->staging);
+      req->ticket_pending = true;
+      if (engine_->done(req->ticket)) {
+        req->ticket_pending = false;
+        req->pack_done = true;
+      }
+    }
+    req->protocol = req->data_bytes <= machine.eager_threshold
+                        ? Protocol::Eager
+                        : rt_->config().rendezvous;
+    if (req->protocol == Protocol::RPut) {
+      // RPUT sends the RTS before the pack completes so the handshake
+      // overlaps the packing kernel (§IV-B1).
+      co_await issueRts(req);
+    }
+    if (req->pack_done) {
+      if (req->protocol == Protocol::Eager) {
+        co_await issueEagerData(req);
+      } else if (req->protocol == Protocol::RGet) {
+        co_await issueRts(req);
+      }
+    }
+  }
+  if (!req->complete) active_.push_back(req);
+}
+
+sim::Task<void> Proc::activateRecv(RequestPtr req) {
+  active_.push_back(req);
+  // Unexpected-message queues first (FIFO order preserved).
+  for (auto it = unexpected_eager_.begin(); it != unexpected_eager_.end();
+       ++it) {
+    if (req->matches(it->src, it->tag)) {
+      auto data = std::move(it->data);
+      unexpected_eager_.erase(it);
+      startEagerDelivery(req, std::move(data));
+      co_return;
+    }
+  }
+  for (auto it = unexpected_rts_.begin(); it != unexpected_rts_.end(); ++it) {
+    if (req->matches((*it)->owner_rank, (*it)->tag)) {
+      RequestPtr sender_req = *it;
+      unexpected_rts_.erase(it);
+      startRendezvousDelivery(req, std::move(sender_req));
+      co_return;
+    }
+  }
+  posted_recvs_.push_back(req);
+}
+
+sim::Task<RequestPtr> Proc::isend(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                  std::size_t count, int dst, int tag) {
+  DKF_CHECK(dst >= 0 && dst < worldSize());
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto req = makeRequest(Request::Kind::Send, buf, type, count, dst, tag);
+  co_await activateSend(req);
+  co_return req;
+}
+
+sim::Task<RequestPtr> Proc::irecv(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                  std::size_t count, int src, int tag) {
+  DKF_CHECK(src == kAnySource || (src >= 0 && src < worldSize()));
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto req = makeRequest(Request::Kind::Recv, buf, type, count, src, tag);
+  co_await activateRecv(req);
+  co_return req;
+}
+
+sim::Task<RequestPtr> Proc::sendInit(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                     std::size_t count, int dst, int tag) {
+  DKF_CHECK(dst >= 0 && dst < worldSize());
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto req = makeRequest(Request::Kind::Send, buf, type, count, dst, tag);
+  req->persistent = true;
+  co_return req;
+}
+
+sim::Task<RequestPtr> Proc::recvInit(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                     std::size_t count, int src, int tag) {
+  DKF_CHECK(src == kAnySource || (src >= 0 && src < worldSize()));
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto req = makeRequest(Request::Kind::Recv, buf, type, count, src, tag);
+  req->persistent = true;
+  co_return req;
+}
+
+sim::Task<void> Proc::start(RequestPtr req) {
+  DKF_CHECK_MSG(req->persistent, "start() requires a persistent request");
+  DKF_CHECK_MSG(!req->active, "persistent request started twice");
+  // Starting skips argument validation and layout lookup: cheaper than a
+  // fresh isend/irecv (half the per-call bookkeeping).
+  co_await cpu_->busy(rt_->config().call_overhead / 2);
+  resetActivationState(*req);
+  req->active = true;
+  if (req->kind == Request::Kind::Send) {
+    co_await activateSend(req);
+  } else {
+    co_await activateRecv(req);
+  }
+}
+
+sim::Task<void> Proc::startall(const std::vector<RequestPtr>& reqs) {
+  for (const RequestPtr& req : reqs) {
+    co_await start(req);
+  }
+}
+
+RequestPtr Proc::matchPosted(int src_rank, int msg_tag) {
+  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+    if ((*it)->matches(src_rank, msg_tag)) {
+      RequestPtr req = *it;
+      posted_recvs_.erase(it);
+      return req;
+    }
+  }
+  return nullptr;
+}
+
+sim::Task<void> Proc::issueEagerData(RequestPtr req) {
+  Runtime* rt = rt_;
+  const int src_rank = rank_;
+  const int dst_rank = req->peer;
+  const int tag = req->tag;
+  rt->cluster().fabric().sendMessage(
+      rt->nodeOfRank(src_rank), rt->nodeOfRank(dst_rank), req->staging,
+      [rt, src_rank, dst_rank, tag](std::vector<std::byte> data) {
+        rt->proc(dst_rank).onEager(src_rank, tag, std::move(data));
+      });
+  req->data_in_flight = true;
+  // Eager sends complete locally: the payload was captured on the wire.
+  if (req->staging_owned) {
+    freeDevice(req->staging);
+    req->staging_owned = false;
+  }
+  req->complete = true;
+  co_return;
+}
+
+sim::Task<void> Proc::issueRts(RequestPtr req) {
+  req->rts_sent = true;
+  Runtime* rt = rt_;
+  const int dst_rank = req->peer;
+  rt->cluster().fabric().sendControl(
+      rt->nodeOfRank(rank_), rt->nodeOfRank(dst_rank),
+      [rt, dst_rank, req] { rt->proc(dst_rank).onRts(req); });
+  co_return;
+}
+
+void Proc::onEager(int src_rank, int msg_tag, std::vector<std::byte> data) {
+  RequestPtr recv = matchPosted(src_rank, msg_tag);
+  if (!recv) {
+    unexpected_eager_.push_back(
+        UnexpectedEager{src_rank, msg_tag, std::move(data)});
+    return;
+  }
+  startEagerDelivery(std::move(recv), std::move(data));
+}
+
+void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
+  DKF_CHECK_MSG(data.size() <= recv->data_bytes,
+                "eager message longer than the posted receive ("
+                    << data.size() << " > " << recv->data_bytes << ")");
+  if (recv->is_contiguous) {
+    std::memcpy(recv->user_buf.bytes.data(), data.data(), data.size());
+    recv->complete = true;
+    return;
+  }
+  // Park the payload in the request and unpack through the DDT engine.
+  recv->eager_data = std::move(data);
+  Proc* self = this;
+  engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
+    const gpu::MemSpan packed = gpu::MemSpan::host(r->eager_data);
+    r->ticket = co_await p.engine_->submitUnpack(r->layout, packed, r->user_buf);
+    r->ticket_pending = true;
+    if (p.engine_->done(r->ticket)) {
+      r->ticket_pending = false;
+      r->eager_data.clear();
+      r->complete = true;
+    }
+  }(*self, std::move(recv)));
+}
+
+void Proc::onRts(RequestPtr sender_req) {
+  RequestPtr recv = matchPosted(sender_req->owner_rank, sender_req->tag);
+  if (!recv) {
+    unexpected_rts_.push_back(std::move(sender_req));
+    return;
+  }
+  startRendezvousDelivery(std::move(recv), std::move(sender_req));
+}
+
+void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
+  DKF_CHECK(sender_req->data_bytes <= recv->data_bytes);
+  Runtime* rt = rt_;
+  const int my_node = rt->nodeOfRank(rank_);
+  const int sender_node = rt->nodeOfRank(sender_req->owner_rank);
+
+  switch (sender_req->protocol) {
+    case Protocol::DirectIpc: {
+      recv->remote_layout = sender_req->layout;
+      recv->remote_origin = sender_req->user_buf;
+      recv->paired = sender_req;
+      recv->direct_retry = true;  // progress loop performs the enqueue
+      break;
+    }
+    case Protocol::RGet: {
+      gpu::MemSpan dst;
+      if (recv->is_contiguous) {
+        dst = recv->user_buf.subspan(0, sender_req->data_bytes);
+      } else {
+        recv->staging = allocDevice(sender_req->data_bytes);
+        recv->staging_owned = true;
+        dst = recv->staging;
+      }
+      Proc* self = this;
+      rt->cluster().fabric().rdmaRead(
+          my_node, sender_node, sender_req->staging, dst,
+          [self, rt, recv, sender_req, my_node, sender_node] {
+            recv->data_delivered = true;
+            // FIN releases the sender's packed buffer.
+            const int sender_rank = sender_req->owner_rank;
+            rt->cluster().fabric().sendControl(
+                my_node, sender_node, [rt, sender_rank, sender_req] {
+                  rt->proc(sender_rank).onFin(sender_req);
+                });
+            self->finishRecvData(recv);
+          });
+      break;
+    }
+    case Protocol::RPut: {
+      gpu::MemSpan dst;
+      if (recv->is_contiguous) {
+        dst = recv->user_buf.subspan(0, sender_req->data_bytes);
+      } else {
+        recv->staging = allocDevice(sender_req->data_bytes);
+        recv->staging_owned = true;
+        dst = recv->staging;
+      }
+      // CTS hands the sender our staging address; the sender RDMA-WRITEs
+      // once its packing finished (overlap with the handshake, §IV-B1).
+      const int sender_rank = sender_req->owner_rank;
+      sender_req->paired = recv;
+      rt->cluster().fabric().sendControl(
+          my_node, sender_node, [rt, sender_rank, sender_req, dst] {
+            rt->proc(sender_rank).onCts(sender_req, dst);
+          });
+      break;
+    }
+    case Protocol::Eager:
+      DKF_CHECK_MSG(false, "eager messages do not use rendezvous delivery");
+  }
+}
+
+void Proc::onCts(RequestPtr sender_req, gpu::MemSpan recv_staging) {
+  sender_req->cts_received = true;
+  sender_req->remote_staging = recv_staging;
+}
+
+void Proc::onFin(RequestPtr sender_req) {
+  if (sender_req->staging_owned) {
+    freeDevice(sender_req->staging);
+    sender_req->staging_owned = false;
+  }
+  sender_req->paired.reset();
+  sender_req->complete = true;
+}
+
+void Proc::finishRecvData(RequestPtr recv) {
+  if (recv->is_contiguous) {
+    recv->complete = true;
+    return;
+  }
+  Proc* self = this;
+  engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
+    r->ticket =
+        co_await p.engine_->submitUnpack(r->layout, r->staging, r->user_buf);
+    r->ticket_pending = true;
+    if (p.engine_->done(r->ticket)) {
+      r->ticket_pending = false;
+      p.releaseRecvStaging(*r);
+      r->complete = true;
+    }
+  }(*self, std::move(recv)));
+}
+
+void Proc::releaseRecvStaging(Request& r) {
+  if (r.staging_owned) {
+    freeDevice(r.staging);
+    r.staging_owned = false;
+  }
+  r.eager_data.clear();
+}
+
+sim::Task<void> Proc::tryDirect(RequestPtr recv) {
+  const auto t = co_await engine_->submitDirect(
+      recv->remote_layout, recv->remote_origin, recv->layout, recv->user_buf);
+  if (!t.valid()) {
+    recv->direct_retry = true;  // request list full: retry on next pass
+    co_return;
+  }
+  recv->ticket = t;
+  recv->ticket_pending = true;
+}
+
+sim::Task<void> Proc::progressRequest(RequestPtr req) {
+  if (req->complete) co_return;
+
+  if (req->ticket_pending && engine_->done(req->ticket)) {
+    req->ticket_pending = false;
+    if (req->kind == Request::Kind::Send) {
+      req->pack_done = true;
+    } else {
+      // Unpack or DirectIPC finished: the receive is done.
+      releaseRecvStaging(*req);
+      if (req->paired) {
+        // DirectIPC: tell the sender its buffer is consumed.
+        Runtime* rt = rt_;
+        RequestPtr sender_req = std::move(req->paired);
+        req->paired.reset();
+        const int sender_rank = sender_req->owner_rank;
+        rt->cluster().fabric().sendControl(
+            rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
+            [rt, sender_rank, sender_req] {
+              rt->proc(sender_rank).onFin(sender_req);
+            });
+      }
+      req->complete = true;
+      co_return;
+    }
+  }
+
+  if (req->kind == Request::Kind::Send && req->pack_done) {
+    switch (req->protocol) {
+      case Protocol::Eager:
+        if (!req->data_in_flight) co_await issueEagerData(req);
+        break;
+      case Protocol::RGet:
+        if (!req->rts_sent) co_await issueRts(req);
+        break;
+      case Protocol::RPut:
+        if (req->cts_received && !req->data_in_flight) {
+          req->data_in_flight = true;
+          Runtime* rt = rt_;
+          RequestPtr recv = req->paired;
+          Proc* receiver = &rt->proc(req->peer);
+          rt->cluster().fabric().rdmaWrite(
+              rt->nodeOfRank(rank_), rt->nodeOfRank(req->peer), req->staging,
+              req->remote_staging, [req, recv, receiver] {
+                // Delivery: sender may release; receiver unpacks.
+                req->data_delivered = true;
+                if (recv) {
+                  recv->data_delivered = true;
+                  receiver->finishRecvData(recv);
+                }
+              });
+        }
+        if (req->data_delivered && !req->complete) {
+          if (req->staging_owned) {
+            freeDevice(req->staging);
+            req->staging_owned = false;
+          }
+          req->paired.reset();
+          req->complete = true;
+        }
+        break;
+      case Protocol::DirectIpc:
+        break;  // receiver-driven; FIN completes us
+    }
+  } else if (req->kind == Request::Kind::Recv && req->direct_retry) {
+    req->direct_retry = false;
+    co_await tryDirect(req);
+  }
+}
+
+sim::Task<void> Proc::progressOnce() {
+  co_await engine_->progress();
+  // Iterate over a snapshot: handlers may append to active_.
+  std::vector<RequestPtr> snapshot = active_;
+  for (RequestPtr& req : snapshot) {
+    co_await progressRequest(req);
+  }
+  std::erase_if(active_,
+                [](const RequestPtr& r) { return r->complete; });
+}
+
+sim::Task<void> Proc::wait(RequestPtr req) {
+  std::vector<RequestPtr> one{std::move(req)};
+  co_await waitall(std::move(one));
+}
+
+sim::Task<void> Proc::waitall(std::vector<RequestPtr> reqs) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  while (true) {
+    co_await progressOnce();
+    // Launch scenario 1 (§IV-C): the progress engine is out of work and
+    // blocked at a synchronization point — flush batched operations now.
+    co_await engine_->flush();
+    const bool all_done = std::all_of(
+        reqs.begin(), reqs.end(),
+        [](const RequestPtr& r) { return r->complete; });
+    if (all_done) {
+      // Persistent requests become inactive (restartable) once waited.
+      for (const RequestPtr& r : reqs) {
+        if (r->persistent) r->active = false;
+      }
+      co_return;
+    }
+    co_await engine().delay(rt_->config().poll_interval);
+  }
+}
+
+sim::Task<bool> Proc::test(RequestPtr req) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  co_await progressOnce();
+  co_await engine_->flush();
+  co_return req->complete;
+}
+
+sim::Task<bool> Proc::testall(const std::vector<RequestPtr>& reqs) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  co_await progressOnce();
+  co_await engine_->flush();
+  co_return std::all_of(reqs.begin(), reqs.end(),
+                        [](const RequestPtr& r) { return r->complete; });
+}
+
+sim::Task<void> Proc::pack(gpu::MemSpan origin, ddt::DatatypePtr type,
+                           std::size_t count, gpu::MemSpan packed) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto layout = layout_cache_.get(type, count);
+  DKF_CHECK(packed.size() >= layout->size());
+  const auto t = co_await engine_->submitPack(layout, origin, packed);
+  while (!engine_->done(t)) {
+    co_await engine_->flush();
+    co_await engine().delay(rt_->config().poll_interval);
+  }
+}
+
+sim::Task<void> Proc::unpack(gpu::MemSpan packed, gpu::MemSpan origin,
+                             ddt::DatatypePtr type, std::size_t count) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  auto layout = layout_cache_.get(type, count);
+  DKF_CHECK(packed.size() >= layout->size());
+  const auto t = co_await engine_->submitUnpack(layout, packed, origin);
+  while (!engine_->done(t)) {
+    co_await engine_->flush();
+    co_await engine().delay(rt_->config().poll_interval);
+  }
+}
+
+sim::Task<void> Proc::barrier(std::size_t participants) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  Runtime& rt = *rt_;
+  if (participants == 0) participants = static_cast<std::size_t>(rt.worldSize());
+  const std::uint64_t gen = rt.barrier_generation_;
+  if (++rt.barrier_waiting_ == participants) {
+    rt.barrier_waiting_ = 0;
+    ++rt.barrier_generation_;
+    // Release wave: one fabric round-trip worth of latency.
+    co_await engine().delay(2 * rt.cluster().machine().internode.latency);
+    rt.barrier_cv_->notifyAll();
+    co_return;
+  }
+  while (rt.barrier_generation_ == gen) {
+    co_await rt.barrier_cv_->wait();
+  }
+}
+
+// ------------------------------------------------------------- Runtime ----
+
+Runtime::Runtime(hw::Cluster& cluster, RuntimeConfig config)
+    : cluster_(&cluster), config_(config) {
+  barrier_cv_ = std::make_unique<sim::CondVar>(cluster.engine());
+  const std::size_t ranks = cluster.gpuCount();
+  procs_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    procs_.push_back(
+        std::make_unique<Proc>(*this, static_cast<int>(r), cluster.gpu(r)));
+  }
+}
+
+Proc& Runtime::proc(int rank) {
+  DKF_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < procs_.size());
+  return *procs_[rank];
+}
+
+int Runtime::nodeOfRank(int rank) const {
+  return cluster_->nodeOfGpu(static_cast<std::size_t>(rank));
+}
+
+void Runtime::runAll(const std::function<sim::Task<void>(Proc&)>& body) {
+  for (auto& p : procs_) {
+    engine().spawn(body(*p));
+  }
+  engine().run();
+}
+
+TimeBreakdown Runtime::aggregateBreakdown() const {
+  TimeBreakdown total;
+  for (const auto& p : procs_) {
+    total += p->engine_->breakdown();
+  }
+  return total;
+}
+
+}  // namespace dkf::mpi

@@ -1,0 +1,196 @@
+// The CUDA-aware MPI-like runtime (DESIGN.md §4.5).
+//
+// One `Proc` per rank (one rank per GPU), all driven by the shared
+// discrete-event engine. Non-contiguous sends/receives route through the
+// process's pluggable DDT engine; small messages go eager, large ones use
+// rendezvous (RGET by default, RPUT selectable), intra-node transfers can
+// use the DirectIPC zero-copy path when the engine supports it.
+//
+// The progress engine runs on the same thread as the application (the
+// configuration the paper evaluates, §IV-A2): wait/waitall poll it, and it
+// flushes the DDT engine whenever it has no more submissions outstanding —
+// the paper's launch scenario 1.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "ddt/layout.hpp"
+#include "hw/cluster.hpp"
+#include "mpi/request.hpp"
+#include "schemes/factory.hpp"
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace dkf::mpi {
+
+struct RuntimeConfig {
+  schemes::Scheme scheme{schemes::Scheme::Proposed};
+  /// Overrides for ProposedTuned (0 = keep the FusionPolicy default).
+  std::size_t tuned_threshold{0};
+  std::size_t tuned_list_capacity{0};
+  std::size_t tuned_max_requests{0};
+  /// Rendezvous sub-protocol (§IV-B1).
+  Protocol rendezvous{Protocol::RGet};
+  /// Allow intra-node DirectIPC when the engine supports it.
+  bool enable_direct_ipc{true};
+  /// Progress-engine poll period while blocked in wait/waitall.
+  DurationNs poll_interval{ns(250)};
+  /// Fixed bookkeeping cost per MPI call.
+  DurationNs call_overhead{ns(150)};
+};
+
+class Runtime;
+
+class Proc {
+ public:
+  Proc(Runtime& rt, int rank, gpu::Gpu& gpu);
+
+  int rank() const { return rank_; }
+  int worldSize() const;
+  gpu::Gpu& gpu() { return *gpu_; }
+  sim::Engine& engine();
+  /// This rank's (single) progress/application thread.
+  sim::CpuTimeline& cpu() { return *cpu_; }
+  schemes::DdtEngine& ddtEngine() { return *engine_; }
+  ddt::LayoutCache& layoutCache() { return layout_cache_; }
+
+  /// Device-buffer management on this rank's GPU.
+  gpu::MemSpan allocDevice(std::size_t bytes);
+  void freeDevice(const gpu::MemSpan& span);
+
+  // ---- Point-to-point (MPI_Isend / MPI_Irecv / MPI_Wait*) ----
+  sim::Task<RequestPtr> isend(gpu::MemSpan buf, ddt::DatatypePtr type,
+                              std::size_t count, int dst, int tag);
+  sim::Task<RequestPtr> irecv(gpu::MemSpan buf, ddt::DatatypePtr type,
+                              std::size_t count, int src, int tag);
+  sim::Task<void> wait(RequestPtr req);
+  sim::Task<void> waitall(std::vector<RequestPtr> reqs);
+  /// Non-blocking completion check (MPI_Test): runs one progress pass
+  /// (including the engine flush) and reports the request's status.
+  sim::Task<bool> test(RequestPtr req);
+  /// MPI_Testall analogue over a set of requests.
+  sim::Task<bool> testall(const std::vector<RequestPtr>& reqs);
+
+  // ---- Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start) --
+  // Iterative halo applications set up their exchange once and start it
+  // every timestep; starting a persistent request skips argument checking
+  // and layout lookup.
+  sim::Task<RequestPtr> sendInit(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                 std::size_t count, int dst, int tag);
+  sim::Task<RequestPtr> recvInit(gpu::MemSpan buf, ddt::DatatypePtr type,
+                                 std::size_t count, int src, int tag);
+  /// Activate a persistent request (it must not already be active).
+  sim::Task<void> start(RequestPtr req);
+  sim::Task<void> startall(const std::vector<RequestPtr>& reqs);
+
+  // ---- Explicit blocking pack/unpack (MPI_Pack / MPI_Unpack, Alg. 1) ----
+  sim::Task<void> pack(gpu::MemSpan origin, ddt::DatatypePtr type,
+                       std::size_t count, gpu::MemSpan packed);
+  sim::Task<void> unpack(gpu::MemSpan packed, gpu::MemSpan origin,
+                         ddt::DatatypePtr type, std::size_t count);
+
+  /// Simple dissemination-free barrier over the runtime (control latency
+  /// is charged; used by experiment drivers between iterations).
+  /// `participants` ranks must arrive (0 = the whole world).
+  sim::Task<void> barrier(std::size_t participants = 0);
+
+  /// Active (incomplete) requests owned by this rank.
+  std::size_t inFlight() const { return active_.size(); }
+
+ private:
+  friend class Runtime;
+
+  // Inbound protocol events (called at fabric delivery time).
+  void onEager(int src_rank, int msg_tag, std::vector<std::byte> data);
+  void onRts(RequestPtr sender_req);
+  void onCts(RequestPtr sender_req, gpu::MemSpan recv_staging);
+  void onFin(RequestPtr sender_req);
+
+  /// Try to match an inbound message against posted receives.
+  RequestPtr matchPosted(int src_rank, int msg_tag);
+
+  /// Hand a matched eager payload / RTS to the receive request.
+  void startEagerDelivery(RequestPtr recv, std::vector<std::byte> data);
+  void startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req);
+
+  /// Packed data has landed in the receive staging — unpack (or finish).
+  void finishRecvData(RequestPtr recv);
+  void releaseRecvStaging(Request& r);
+  /// Attempt the DirectIPC enqueue; re-arms direct_retry if the list is full.
+  sim::Task<void> tryDirect(RequestPtr recv);
+
+  /// One pass of the progress engine.
+  sim::Task<void> progressOnce();
+  /// Advance a single request's state machine.
+  sim::Task<void> progressRequest(RequestPtr req);
+
+  sim::Task<void> issueEagerData(RequestPtr req);
+  sim::Task<void> issueRts(RequestPtr req);
+
+  /// Fill the immutable fields of a new request (layout, sizes, flags).
+  RequestPtr makeRequest(Request::Kind kind, gpu::MemSpan buf,
+                         const ddt::DatatypePtr& type, std::size_t count,
+                         int peer, int tag);
+  /// Reset per-activation protocol state (persistent restarts).
+  static void resetActivationState(Request& req);
+  /// Run the send-side activation (protocol choice, pack submission).
+  sim::Task<void> activateSend(RequestPtr req);
+  /// Run the recv-side activation (matching, posting).
+  sim::Task<void> activateRecv(RequestPtr req);
+
+  Runtime* rt_;
+  int rank_;
+  gpu::Gpu* gpu_;
+  std::unique_ptr<sim::CpuTimeline> cpu_;
+  std::unique_ptr<schemes::DdtEngine> engine_;
+  ddt::LayoutCache layout_cache_;
+
+  std::vector<RequestPtr> active_;          // all incomplete requests
+  std::vector<RequestPtr> posted_recvs_;    // unmatched posted receives
+  struct UnexpectedEager {
+    int src;
+    int tag;
+    std::vector<std::byte> data;
+  };
+  std::deque<UnexpectedEager> unexpected_eager_;
+  std::deque<RequestPtr> unexpected_rts_;   // sender reqs awaiting a match
+};
+
+class Runtime {
+ public:
+  Runtime(hw::Cluster& cluster, RuntimeConfig config);
+
+  int worldSize() const { return static_cast<int>(procs_.size()); }
+  Proc& proc(int rank);
+  const RuntimeConfig& config() const { return config_; }
+  hw::Cluster& cluster() { return *cluster_; }
+  sim::Engine& engine() { return cluster_->engine(); }
+
+  int nodeOfRank(int rank) const;
+  bool sameNode(int a, int b) const { return nodeOfRank(a) == nodeOfRank(b); }
+
+  /// Run `body` on every rank and drive the simulation to completion.
+  void runAll(const std::function<sim::Task<void>(Proc&)>& body);
+
+  /// Aggregate time breakdown over all ranks' DDT engines (Fig. 11).
+  TimeBreakdown aggregateBreakdown() const;
+
+ private:
+  friend class Proc;
+
+  // Barrier bookkeeping.
+  std::size_t barrier_waiting_{0};
+  std::uint64_t barrier_generation_{0};
+  std::unique_ptr<sim::CondVar> barrier_cv_;
+
+  hw::Cluster* cluster_;
+  RuntimeConfig config_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+};
+
+}  // namespace dkf::mpi

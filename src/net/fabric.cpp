@@ -1,0 +1,151 @@
+#include "net/fabric.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dkf::net {
+
+namespace {
+constexpr std::size_t kControlPacketBytes = 64;
+}
+
+Fabric::Fabric(sim::Engine& eng, const hw::MachineSpec& machine,
+               std::size_t nodes)
+    : eng_(&eng), machine_(machine), nodes_(nodes) {
+  DKF_CHECK(nodes > 0);
+  links_.resize(nodes * nodes);
+  for (std::size_t s = 0; s < nodes; ++s) {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      const hw::LinkSpec& spec =
+          s == d ? machine_.node.gpu_gpu : machine_.internode;
+      links_[s * nodes + d] = std::make_unique<Link>(eng, spec);
+    }
+  }
+}
+
+Link& Fabric::linkBetween(int src_node, int dst_node) {
+  DKF_CHECK(src_node >= 0 && static_cast<std::size_t>(src_node) < nodes_);
+  DKF_CHECK(dst_node >= 0 && static_cast<std::size_t>(dst_node) < nodes_);
+  return *links_[static_cast<std::size_t>(src_node) * nodes_ +
+                 static_cast<std::size_t>(dst_node)];
+}
+
+void Fabric::traceTransfer(int src_node, int dst_node, const char* what,
+                           std::size_t bytes, TimeNs begin, TimeNs delivery) {
+  if (!tracer_ || !tracer_->isEnabled()) return;
+  const auto track = tracer_->track("fabric." + std::to_string(src_node) +
+                                    "->" + std::to_string(dst_node));
+  tracer_->span(track,
+                std::string(what) + "[" + std::to_string(bytes) + " B]",
+                begin, delivery, "comm");
+}
+
+double Fabric::directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const {
+  if (a.onDevice() || b.onDevice()) {
+    return machine_.gpuDirectBandwidth().bytesPerNs();
+  }
+  return 0.0;
+}
+
+TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
+                        gpu::MemSpan dst, std::function<void()> on_delivered) {
+  DKF_CHECK_MSG(dst.size() >= payload.size(),
+                "fabric destination too small: " << dst.size() << " < "
+                                                 << payload.size());
+  Link& link = linkBetween(src_node, dst_node);
+  const double cap =
+      src_node == dst_node ? 0.0 : directCap(payload, dst);
+  const TimeNs delivery =
+      link.transferAt(eng_->now() + machine_.nic_per_message, payload.size(), cap);
+  traceTransfer(src_node, dst_node, "data", payload.size(), eng_->now(),
+                delivery);
+  eng_->scheduleAt(delivery,
+                   [payload, dst, cb = std::move(on_delivered)]() mutable {
+                     std::memcpy(dst.bytes.data(), payload.bytes.data(),
+                                 payload.size());
+                     if (cb) cb();
+                   });
+  return delivery;
+}
+
+TimeNs Fabric::sendControl(int src_node, int dst_node,
+                           std::function<void()> on_delivered) {
+  Link& link = linkBetween(src_node, dst_node);
+  const TimeNs delivery = link.transferAt(
+      eng_->now() + machine_.nic_per_message, kControlPacketBytes);
+  traceTransfer(src_node, dst_node, "ctrl", kControlPacketBytes, eng_->now(),
+                delivery);
+  eng_->scheduleAt(delivery, [cb = std::move(on_delivered)]() mutable {
+    if (cb) cb();
+  });
+  return delivery;
+}
+
+TimeNs Fabric::sendMessage(
+    int src_node, int dst_node, gpu::MemSpan payload,
+    std::function<void(std::vector<std::byte>)> on_delivered) {
+  Link& link = linkBetween(src_node, dst_node);
+  const double cap = src_node == dst_node
+                         ? 0.0
+                         : directCap(payload, gpu::MemSpan{});
+  const TimeNs delivery = link.transferAt(
+      eng_->now() + machine_.nic_per_message, payload.size(), cap);
+  traceTransfer(src_node, dst_node, "eager", payload.size(), eng_->now(),
+                delivery);
+  std::vector<std::byte> snapshot(payload.bytes.begin(), payload.bytes.end());
+  eng_->scheduleAt(delivery, [data = std::move(snapshot),
+                              cb = std::move(on_delivered)]() mutable {
+    if (cb) cb(std::move(data));
+  });
+  return delivery;
+}
+
+TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
+                        gpu::MemSpan dst, std::function<void()> on_done) {
+  DKF_CHECK(dst.size() >= src.size());
+  // Request propagation to the target, then the data streams back over the
+  // target->reader channel.
+  Link& back = linkBetween(target_node, reader_node);
+  const TimeNs request_arrival =
+      eng_->now() + machine_.rdma_setup +
+      (reader_node == target_node ? ns(0) : machine_.internode.latency);
+  const TimeNs delivery =
+      back.transferAt(request_arrival, src.size(), directCap(src, dst));
+  traceTransfer(target_node, reader_node, "rdma_read", src.size(),
+                eng_->now(), delivery);
+  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done)]() mutable {
+    std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
+    if (cb) cb();
+  });
+  return delivery;
+}
+
+TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
+                         gpu::MemSpan dst, std::function<void()> on_done) {
+  DKF_CHECK(dst.size() >= src.size());
+  Link& fwd = linkBetween(writer_node, target_node);
+  const TimeNs delivery = fwd.transferAt(eng_->now() + machine_.rdma_setup,
+                                         src.size(), directCap(src, dst));
+  traceTransfer(writer_node, target_node, "rdma_write", src.size(),
+                eng_->now(), delivery);
+  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done)]() mutable {
+    std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
+    if (cb) cb();
+  });
+  return delivery;
+}
+
+std::size_t Fabric::totalBytesCarried() const {
+  std::size_t total = 0;
+  for (const auto& l : links_) total += l->bytesCarried();
+  return total;
+}
+
+std::size_t Fabric::totalMessages() const {
+  std::size_t total = 0;
+  for (const auto& l : links_) total += l->messagesCarried();
+  return total;
+}
+
+}  // namespace dkf::net

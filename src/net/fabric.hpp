@@ -1,0 +1,82 @@
+// The cluster interconnect: per-ordered-pair InfiniBand channels between
+// nodes, plus an intra-node IPC path per node (NVLink peer transfers).
+//
+// The fabric moves real bytes: data transfers copy the payload span into the
+// destination span at delivery time and then run the completion callback.
+// The sender must keep the payload stable until completion — which the MPI
+// runtime guarantees (buffers are owned by requests until FIN).
+//
+// GPUDirect is modeled by capping the streaming bandwidth of a transfer at
+// the machine's gpuDirectBandwidth() whenever an endpoint is device memory;
+// on Lassen (NVLink 75 > IB 25) the cap never binds, on ABCI (PCIe ~12 < IB
+// 25) it does — the asymmetry §V-C attributes ABCI's different behaviour to.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/memory.hpp"
+#include "hw/spec.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace dkf::net {
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& eng, const hw::MachineSpec& machine, std::size_t nodes);
+
+  std::size_t nodeCount() const { return nodes_; }
+
+  /// Two-sided data message src_node -> dst_node. Copies `payload` into
+  /// `dst` at delivery, then runs `on_delivered`. Returns the delivery time.
+  TimeNs sendData(int src_node, int dst_node, gpu::MemSpan payload,
+                  gpu::MemSpan dst, std::function<void()> on_delivered);
+
+  /// Small control packet (RTS/CTS/FIN). 64 bytes on the wire.
+  TimeNs sendControl(int src_node, int dst_node,
+                     std::function<void()> on_delivered);
+
+  /// Two-sided message with *sender-side capture*: the payload is
+  /// snapshotted at call time (MPI eager semantics — the sender may reuse
+  /// its buffer immediately) and handed to the receiver as an owned vector
+  /// at delivery. Used for eager-protocol data whose destination buffer is
+  /// not known until matching happens at the receiver.
+  TimeNs sendMessage(int src_node, int dst_node, gpu::MemSpan payload,
+                     std::function<void(std::vector<std::byte>)> on_delivered);
+
+  /// One-sided RDMA READ issued by `reader_node` against `target_node`:
+  /// a request propagates to the target, then data streams back. The copy
+  /// into `dst` happens at delivery, then `on_done` runs at the reader.
+  TimeNs rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
+                  gpu::MemSpan dst, std::function<void()> on_done);
+
+  /// One-sided RDMA WRITE issued by `writer_node` into `target_node`.
+  TimeNs rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
+                   gpu::MemSpan dst, std::function<void()> on_done);
+
+  std::size_t totalBytesCarried() const;
+  std::size_t totalMessages() const;
+
+  /// Attach a tracer: every transfer emits a span on its channel's track.
+  void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  Link& linkBetween(int src_node, int dst_node);
+  /// Bandwidth cap (bytes/ns) for a transfer touching these spans; 0 = none.
+  double directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const;
+
+  void traceTransfer(int src_node, int dst_node, const char* what,
+                     std::size_t bytes, TimeNs begin, TimeNs delivery);
+
+  sim::Engine* eng_;
+  sim::Tracer* tracer_{nullptr};
+  hw::MachineSpec machine_;
+  std::size_t nodes_;
+  // links_[src * nodes_ + dst]; diagonal entries are the intra-node path.
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace dkf::net

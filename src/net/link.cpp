@@ -1,0 +1,28 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dkf::net {
+
+Link::Link(sim::Engine& eng, hw::LinkSpec spec)
+    : eng_(&eng), spec_(std::move(spec)) {}
+
+TimeNs Link::transferAt(TimeNs earliest, std::size_t bytes,
+                        double bandwidth_override) {
+  double bw = spec_.bandwidth.bytesPerNs();
+  if (bandwidth_override > 0.0) bw = std::min(bw, bandwidth_override);
+  const TimeNs start = std::max({earliest, eng_->now(), busy_until_});
+  const auto serialization = static_cast<DurationNs>(
+      std::ceil(static_cast<double>(bytes) / bw));
+  busy_until_ = start + serialization;
+  bytes_carried_ += bytes;
+  ++messages_;
+  return busy_until_ + spec_.latency;
+}
+
+TimeNs Link::transfer(std::size_t bytes, double bandwidth_override) {
+  return transferAt(eng_->now(), bytes, bandwidth_override);
+}
+
+}  // namespace dkf::net

@@ -1,0 +1,45 @@
+// A one-way communication channel with latency, bandwidth, and FIFO
+// serialization. Used for InfiniBand rails between nodes and NVLink paths
+// inside a node. Transfers reserve the channel eagerly (deterministic
+// busy-until bookkeeping), so overlapping messages queue behind each other
+// exactly once regardless of event ordering.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::net {
+
+class Link {
+ public:
+  Link(sim::Engine& eng, hw::LinkSpec spec);
+
+  const hw::LinkSpec& spec() const { return spec_; }
+
+  /// Reserve the channel for `bytes` starting no earlier than `earliest`.
+  /// Returns the delivery time (serialization + propagation latency).
+  /// `bandwidth_override` (bytes/ns) caps the streaming rate below the
+  /// link's own — used for GPUDirect paths bottlenecked elsewhere; pass 0
+  /// to use the link's native bandwidth.
+  TimeNs transferAt(TimeNs earliest, std::size_t bytes,
+                    double bandwidth_override = 0.0);
+
+  /// Convenience: transferAt(now, ...).
+  TimeNs transfer(std::size_t bytes, double bandwidth_override = 0.0);
+
+  TimeNs busyUntil() const { return busy_until_; }
+  std::size_t bytesCarried() const { return bytes_carried_; }
+  std::size_t messagesCarried() const { return messages_; }
+
+ private:
+  sim::Engine* eng_;
+  hw::LinkSpec spec_;
+  TimeNs busy_until_{0};
+  std::size_t bytes_carried_{0};
+  std::size_t messages_{0};
+};
+
+}  // namespace dkf::net

@@ -1,0 +1,12 @@
+#include "schemes/ddt_engine.hpp"
+
+namespace dkf::schemes {
+
+sim::Task<Ticket> DdtEngine::submitDirect(ddt::LayoutPtr, gpu::MemSpan,
+                                          ddt::LayoutPtr, gpu::MemSpan) {
+  co_return Ticket{};  // not supported: caller falls back
+}
+
+sim::Task<void> DdtEngine::flush() { co_return; }
+
+}  // namespace dkf::schemes

@@ -1,0 +1,93 @@
+// The pluggable DDT-processing engine interface.
+//
+// The MPI runtime routes every non-contiguous pack/unpack through one of
+// these engines; each implementation reproduces one scheme from the paper's
+// evaluation (§V-A):
+//
+//   GpuSyncEngine       "GPU-Sync"        [8], [22]
+//   GpuAsyncEngine      "GPU-Async"       [23]
+//   CpuGpuHybridEngine  "CPU-GPU-Hybrid"  [24]
+//   NaiveCopyEngine     SpectrumMPI / OpenMPI per-block cudaMemcpyAsync
+//   AdaptiveGdrEngine   MVAPICH2-GDR adaptive (hybrid / sync by layout)
+//   FusionEngine        "Proposed" / "Proposed-Tuned" (this paper)
+//
+// Submissions are coroutines: a synchronous engine may block inside (that IS
+// its defining cost), an asynchronous one charges its CPU-side launch cost
+// and returns a ticket immediately. Every engine accumulates the Fig. 11
+// time-breakdown categories as it goes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "ddt/layout.hpp"
+#include "gpu/memory.hpp"
+#include "sim/task.hpp"
+
+namespace dkf::schemes {
+
+/// Handle to an asynchronous engine operation. Invalid tickets (negative id)
+/// mean the engine could not accept the operation (e.g. the fusion request
+/// list is full, §IV-A2 ①) and the caller must fall back.
+struct Ticket {
+  std::int64_t id{-1};
+  bool valid() const { return id >= 0; }
+};
+
+class DdtEngine {
+ public:
+  virtual ~DdtEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Gather layout bytes of `origin` into contiguous `packed`.
+  virtual sim::Task<Ticket> submitPack(ddt::LayoutPtr layout,
+                                       gpu::MemSpan origin,
+                                       gpu::MemSpan packed) = 0;
+
+  /// Scatter contiguous `packed` into layout bytes of `origin`.
+  virtual sim::Task<Ticket> submitUnpack(ddt::LayoutPtr layout,
+                                         gpu::MemSpan packed,
+                                         gpu::MemSpan origin) = 0;
+
+  /// True if submitDirect() can succeed on this engine. The runtime only
+  /// offers the DirectIPC path to capable engines, so the sender never
+  /// skips packing for a receiver that cannot strided-copy.
+  virtual bool supportsDirect() const { return false; }
+
+  /// Direct strided copy between two non-contiguous device buffers over
+  /// NVLink/PCIe (the DirectIPC operation of [24]). Engines without the
+  /// capability return an invalid ticket; the runtime then falls back to
+  /// pack + transfer + unpack.
+  virtual sim::Task<Ticket> submitDirect(ddt::LayoutPtr src_layout,
+                                         gpu::MemSpan src,
+                                         ddt::LayoutPtr dst_layout,
+                                         gpu::MemSpan dst);
+
+  /// Non-blocking completion check; may retire internal bookkeeping for
+  /// completed tickets (the fusion scheduler recycles the request slot).
+  /// Querying an already-retired ticket returns true.
+  virtual bool done(const Ticket& t) = 0;
+
+  /// Advance internal machinery (query events, poll response statuses).
+  /// Called from the runtime's progress loop.
+  virtual sim::Task<void> progress() = 0;
+
+  /// The runtime is entering a wait with no further submissions pending —
+  /// launch/flush anything batched (fusion launch scenario 1, §IV-C).
+  virtual sim::Task<void> flush();
+
+  /// Fig. 11 cost categories accumulated so far.
+  TimeBreakdown& breakdown() { return breakdown_; }
+  const TimeBreakdown& breakdown() const { return breakdown_; }
+
+  /// Operations accepted since construction (pack + unpack + direct).
+  std::size_t submissions() const { return submissions_; }
+
+ protected:
+  TimeBreakdown breakdown_;
+  std::size_t submissions_{0};
+};
+
+}  // namespace dkf::schemes

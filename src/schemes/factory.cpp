@@ -1,0 +1,55 @@
+#include "schemes/factory.hpp"
+
+#include "common/check.hpp"
+#include "schemes/adaptive_gdr.hpp"
+#include "schemes/cpu_gpu_hybrid.hpp"
+#include "schemes/fusion_engine.hpp"
+#include "schemes/gpu_async.hpp"
+#include "schemes/gpu_sync.hpp"
+#include "schemes/hybrid_fusion.hpp"
+#include "schemes/naive_copy.hpp"
+
+namespace dkf::schemes {
+
+std::string_view schemeName(Scheme s) {
+  switch (s) {
+    case Scheme::GpuSync: return "GPU-Sync";
+    case Scheme::GpuAsync: return "GPU-Async";
+    case Scheme::CpuGpuHybrid: return "CPU-GPU-Hybrid";
+    case Scheme::NaiveCopy: return "SpectrumMPI/OpenMPI";
+    case Scheme::AdaptiveGdr: return "MVAPICH2-GDR";
+    case Scheme::Proposed: return "Proposed";
+    case Scheme::ProposedTuned: return "Proposed-Tuned";
+    case Scheme::ProposedHybrid: return "Proposed+Hybrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<DdtEngine> makeEngine(Scheme scheme, sim::Engine& eng,
+                                      sim::CpuTimeline& cpu, gpu::Gpu& gpu,
+                                      core::FusionPolicy tuned_policy) {
+  switch (scheme) {
+    case Scheme::GpuSync:
+      return std::make_unique<GpuSyncEngine>(eng, cpu, gpu);
+    case Scheme::GpuAsync:
+      return std::make_unique<GpuAsyncEngine>(eng, cpu, gpu);
+    case Scheme::CpuGpuHybrid:
+      return std::make_unique<CpuGpuHybridEngine>(eng, cpu, gpu);
+    case Scheme::NaiveCopy:
+      return std::make_unique<NaiveCopyEngine>(eng, cpu, gpu);
+    case Scheme::AdaptiveGdr:
+      return std::make_unique<AdaptiveGdrEngine>(eng, cpu, gpu);
+    case Scheme::Proposed:
+      return std::make_unique<FusionEngine>(eng, cpu, gpu, core::FusionPolicy{},
+                                            "Proposed");
+    case Scheme::ProposedTuned:
+      return std::make_unique<FusionEngine>(eng, cpu, gpu, tuned_policy,
+                                            "Proposed-Tuned");
+    case Scheme::ProposedHybrid:
+      return std::make_unique<HybridFusionEngine>(eng, cpu, gpu);
+  }
+  DKF_CHECK_MSG(false, "unknown scheme");
+  return nullptr;
+}
+
+}  // namespace dkf::schemes

@@ -1,0 +1,42 @@
+// Scheme registry: maps the evaluation's scheme names to engine factories.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/scheduler.hpp"
+#include "gpu/gpu.hpp"
+#include "sim/cpu.hpp"
+#include "schemes/ddt_engine.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::schemes {
+
+enum class Scheme {
+  GpuSync,        ///< [8], [22]
+  GpuAsync,       ///< [23]
+  CpuGpuHybrid,   ///< [24]
+  NaiveCopy,      ///< SpectrumMPI / OpenMPI production behaviour
+  AdaptiveGdr,    ///< MVAPICH2-GDR production behaviour
+  Proposed,       ///< this paper, default 512 KB threshold
+  ProposedTuned,  ///< this paper, per-workload tuned threshold
+  ProposedHybrid, ///< this paper + [24]'s adaptive GDRCopy (Related Work)
+};
+
+/// Display name matching the paper's legends.
+std::string_view schemeName(Scheme s);
+
+/// All schemes in the order the paper's figures list them.
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::GpuSync,        Scheme::GpuAsync, Scheme::CpuGpuHybrid,
+    Scheme::NaiveCopy,      Scheme::AdaptiveGdr, Scheme::Proposed,
+    Scheme::ProposedTuned,  Scheme::ProposedHybrid,
+};
+
+/// Construct an engine for `scheme` on `gpu`. `tuned_policy` only affects
+/// ProposedTuned (Proposed always uses the paper's defaults).
+std::unique_ptr<DdtEngine> makeEngine(Scheme scheme, sim::Engine& eng,
+                                      sim::CpuTimeline& cpu, gpu::Gpu& gpu,
+                                      core::FusionPolicy tuned_policy = {});
+
+}  // namespace dkf::schemes

@@ -1,0 +1,53 @@
+// Proposed+Hybrid: the combination the paper's Related Work suggests —
+// "The proposed framework can be combined with [24]'s adaptive protocol as
+// an additional option."
+//
+// Routing per operation:
+//   small + dense layout  -> GDRCopy CPU path (no GPU driver at all), the
+//                            corner where CPU-GPU-Hybrid beats everything;
+//   everything else       -> the dynamic-fusion scheduler.
+//
+// This engine should therefore dominate BOTH pure schemes across the whole
+// MILC sweep: hybrid's small-dense win plus fusion's bulk win, with no
+// crossover penalty. `bench/ablation_fusion` (section F) and the MILC
+// example quantify it.
+#pragma once
+
+#include "schemes/cpu_gpu_hybrid.hpp"
+#include "schemes/fusion_engine.hpp"
+
+namespace dkf::schemes {
+
+class HybridFusionEngine final : public DdtEngine {
+ public:
+  HybridFusionEngine(sim::Engine& eng, sim::CpuTimeline& cpu, gpu::Gpu& gpu,
+                     core::FusionPolicy policy = {},
+                     HybridTuning tuning = {});
+
+  std::string_view name() const override { return "Proposed+Hybrid"; }
+
+  sim::Task<Ticket> submitPack(ddt::LayoutPtr layout, gpu::MemSpan origin,
+                               gpu::MemSpan packed) override;
+  sim::Task<Ticket> submitUnpack(ddt::LayoutPtr layout, gpu::MemSpan packed,
+                                 gpu::MemSpan origin) override;
+  bool supportsDirect() const override { return true; }
+  sim::Task<Ticket> submitDirect(ddt::LayoutPtr src_layout, gpu::MemSpan src,
+                                 ddt::LayoutPtr dst_layout,
+                                 gpu::MemSpan dst) override;
+  bool done(const Ticket& t) override;
+  sim::Task<void> progress() override;
+  sim::Task<void> flush() override;
+
+  std::size_t cpuPathOps() const { return cpu_path_.cpuPathOps(); }
+  std::size_t fusedOps() const { return fusion_path_.submissions(); }
+
+ private:
+  /// Tickets from the CPU path are offset into a disjoint id range so
+  /// done() can route queries without extra bookkeeping.
+  static constexpr std::int64_t kCpuBase = std::int64_t{1} << 61;
+
+  CpuGpuHybridEngine cpu_path_;
+  FusionEngine fusion_path_;
+};
+
+}  // namespace dkf::schemes

@@ -1,0 +1,62 @@
+// CpuTimeline: a serializing resource modeling one CPU thread.
+//
+// Each MPI rank runs its application, progress engine, and DDT-engine
+// driver calls on a single thread (the configuration the paper evaluates,
+// §IV-A2). In the simulator several coroutines can be active for one rank
+// (the rank program plus spawned unpack handlers); without serialization
+// their modeled CPU costs would overlap in virtual time — impossible on
+// real hardware and flattering to synchronous schemes. Every CPU-side cost
+// (kernel launch, driver call, GDRCopy loop, blocking synchronization)
+// reserves this timeline instead of sleeping on the raw engine clock.
+//
+// Reservation is eager: busy() claims [max(now, busy_until), +d) at call
+// time, so concurrent claimants queue in call order — deterministic and
+// FIFO, like a run-to-completion event loop.
+#pragma once
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::sim {
+
+class CpuTimeline {
+ public:
+  explicit CpuTimeline(Engine& eng) : eng_(&eng) {}
+
+  /// Occupy the CPU for `d` ns (after any previously reserved work) and
+  /// resume the caller when the slice completes.
+  Task<void> busy(DurationNs d) {
+    const TimeNs start = std::max(eng_->now(), busy_until_);
+    busy_until_ = start + d;
+    total_busy_ += d;
+    const TimeNs wake = busy_until_;
+    if (wake > eng_->now()) co_await eng_->delay(wake - eng_->now());
+  }
+
+  /// Hold the CPU (busy-wait) until at least time `t` — the shape of
+  /// cudaStreamSynchronize / cudaEventSynchronize: the thread spins until
+  /// the device reaches the sync point. Returns the time actually spent
+  /// spinning (zero if the device was already past `t`), which is what a
+  /// breakdown should attribute to synchronization — queueing behind other
+  /// CPU work is not sync cost.
+  Task<DurationNs> holdUntil(TimeNs t) {
+    const TimeNs start = std::max(eng_->now(), busy_until_);
+    const TimeNs end = std::max(start, t);
+    const DurationNs held = end - start;
+    total_busy_ += held;
+    busy_until_ = end;
+    if (end > eng_->now()) co_await eng_->delay(end - eng_->now());
+    co_return held;
+  }
+
+  TimeNs busyUntil() const { return busy_until_; }
+  /// Cumulative reserved CPU time (for utilization reporting).
+  DurationNs totalBusy() const { return total_busy_; }
+
+ private:
+  Engine* eng_;
+  TimeNs busy_until_{0};
+  DurationNs total_busy_{0};
+};
+
+}  // namespace dkf::sim

@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace dkf::sim {
+
+void Engine::scheduleAt(TimeNs t, Callback cb) {
+  DKF_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t << " now=" << now_);
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the callback handle instead (std::function copy of the top).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  reapSpawned();
+  return true;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Engine::runUntil(TimeNs t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, t);
+}
+
+void Engine::spawn(Task<void> task) {
+  DKF_CHECK(task.valid());
+  task.start();
+  if (task.done()) {
+    task.rethrowIfFailed();
+    return;
+  }
+  spawned_.push_back(std::move(task));
+}
+
+void Engine::reapSpawned() {
+  // Compact completed detached tasks, surfacing any stored exception.
+  auto first_done =
+      std::find_if(spawned_.begin(), spawned_.end(),
+                   [](const Task<void>& t) { return t.done(); });
+  if (first_done == spawned_.end()) return;
+  for (auto& t : spawned_) {
+    if (t.done()) t.rethrowIfFailed();
+  }
+  std::erase_if(spawned_, [](const Task<void>& t) { return t.done(); });
+}
+
+Task<void> pollUntil(Engine& eng, std::function<bool()> pred, DurationNs interval) {
+  while (!pred()) {
+    co_await eng.delay(interval);
+  }
+}
+
+}  // namespace dkf::sim

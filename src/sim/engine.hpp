@@ -1,0 +1,106 @@
+// Deterministic single-threaded discrete-event engine.
+//
+// Events are (time, sequence, callback) triples in a min-heap; ties on time
+// break by insertion sequence, which makes every simulation replayable
+// bit-for-bit. All "hardware" in the simulator (GPU kernels, DMA engines,
+// NICs, links) runs by scheduling events; all "software" (MPI ranks, progress
+// engines, schedulers) runs as coroutines that suspend on awaitables resumed
+// from events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace dkf::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  TimeNs now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` ns from now.
+  void schedule(DurationNs delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+
+  /// Schedule `cb` at absolute virtual time `t` (must not be in the past).
+  void scheduleAt(TimeNs t, Callback cb);
+
+  /// Run the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains (or `max_events` processed).
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run events with time <= t, then set now() = t.
+  void runUntil(TimeNs t);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pendingEvents() const { return queue_.size(); }
+  std::size_t processedEvents() const { return processed_; }
+
+  /// Start a detached coroutine; the engine keeps its frame alive until it
+  /// completes. Exceptions escaping a spawned task are rethrown from
+  /// run()/step() at reap time so tests fail loudly.
+  void spawn(Task<void> task);
+
+  /// Spawned coroutines still suspended. Nonzero after run() drains the
+  /// event queue means a deadlock (a task waits on a gate nothing opens).
+  std::size_t unfinishedTasks() const { return spawned_.size(); }
+
+  /// Awaitable: suspend the current coroutine for `d` virtual ns.
+  auto delay(DurationNs d) {
+    struct Awaiter {
+      Engine& eng;
+      DurationNs dur;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.schedule(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: yield to the event loop, resuming at the same virtual time
+  /// (after already-queued events at this time).
+  auto yield() { return delay(0); }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void reapSpawned();
+
+  TimeNs now_{0};
+  std::uint64_t seq_{0};
+  std::size_t processed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Task<void>> spawned_;
+};
+
+/// Coroutine helper: poll `pred` every `interval` until it returns true.
+/// Used to model CPU polling loops (progress engines, event queries); the
+/// caller accounts any per-poll CPU cost separately.
+Task<void> pollUntil(Engine& eng, std::function<bool()> pred, DurationNs interval);
+
+}  // namespace dkf::sim

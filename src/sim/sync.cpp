@@ -1,0 +1,28 @@
+#include "sim/sync.hpp"
+
+#include <utility>
+
+namespace dkf::sim {
+
+void Gate::open() {
+  if (open_) return;
+  open_ = true;
+  auto waiters = std::exchange(waiters_, {});
+  for (auto h : waiters) {
+    eng_->schedule(0, [h] { h.resume(); });
+  }
+}
+
+void CondVar::notifyAll() {
+  auto waiters = std::exchange(waiters_, {});
+  for (auto h : waiters) {
+    eng_->schedule(0, [h] { h.resume(); });
+  }
+}
+
+void Latch::countDown() {
+  DKF_CHECK(remaining_ > 0);
+  if (--remaining_ == 0) gate_.open();
+}
+
+}  // namespace dkf::sim

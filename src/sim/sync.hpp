@@ -1,0 +1,92 @@
+// Coroutine synchronization primitives for the simulation.
+//
+// - Gate: one-shot latch. `open()` releases every current and future waiter.
+//   Models completion flags (kernel done, message delivered, request ready).
+// - CondVar: broadcast condition. `notifyAll()` wakes the waiters present at
+//   the call; later waiters sleep until the next notify. Models progress-
+//   engine wakeups.
+// - Latch: counts down from N; waiters release at zero. Models "all ranks
+//   finished" joins in the experiment drivers.
+//
+// All wakeups are deferred through the engine (scheduled at +0 ns) rather
+// than resumed inline, so a notifier's state mutations complete before any
+// waiter observes them — the same reason real code signals after releasing
+// locks.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::sim {
+
+class Gate {
+ public:
+  explicit Gate(Engine& eng) : eng_(&eng) {}
+
+  bool isOpen() const { return open_; }
+
+  /// Release all waiters; idempotent.
+  void open();
+
+  /// Awaitable; resumes immediately if already open.
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  bool open_{false};
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(Engine& eng) : eng_(&eng) {}
+
+  /// Wake all coroutines currently waiting.
+  void notifyAll();
+
+  auto wait() {
+    struct Awaiter {
+      CondVar& cv;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { cv.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiterCount() const { return waiters_.size(); }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+class Latch {
+ public:
+  Latch(Engine& eng, std::size_t count) : gate_(eng), remaining_(count) {
+    if (remaining_ == 0) gate_.open();
+  }
+
+  void countDown();
+  auto wait() { return gate_.wait(); }
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  Gate gate_;
+  std::size_t remaining_;
+};
+
+}  // namespace dkf::sim

@@ -1,0 +1,193 @@
+// Coroutine task type for simulation actors.
+//
+// `sim::Task<T>` is a lazy coroutine: creating one does not run any code;
+// it starts either when awaited by another task (symmetric transfer) or when
+// handed to `Engine::spawn`. Blocking simulation primitives (delays, gates,
+// condition variables, GPU/NIC completions) are awaitables that suspend the
+// task and resume it from a scheduled event, so a rank's "program" reads like
+// straight-line MPI code while executing inside the single-threaded
+// discrete-event engine.
+//
+// Ownership: the Task object owns the coroutine frame (RAII destroy). A task
+// awaited by a parent completes before the parent resumes, so the child frame
+// outlives its use. Detached (spawned) tasks are kept alive by the Engine
+// until completion.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dkf::sim {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+/// Final awaiter: transfers control back to whoever co_awaited this task,
+/// or parks (noop) for root/detached tasks which the Engine reaps.
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <class Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& p = h.promise();
+    p.finished = true;
+    if (p.continuation) return p.continuation;
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+  bool finished{false};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; owns its frame.
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().finished; }
+
+  /// Start a root task (resume from the initial suspend point).
+  void start() {
+    DKF_CHECK(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  /// Rethrow any exception that escaped the coroutine body.
+  void rethrowIfFailed() {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Result access for completed root tasks (awaiting parents use
+  /// await_resume instead).
+  T& result() {
+    DKF_CHECK(done());
+    rethrowIfFailed();
+    return handle_.promise().value;
+  }
+
+  // co_await support: starts the child, suspends the parent until done.
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer: start the child now
+  }
+  T await_resume() {
+    rethrowIfFailed();
+    return std::move(handle_.promise().value);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().finished; }
+
+  void start() {
+    DKF_CHECK(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  void rethrowIfFailed() {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() { rethrowIfFailed(); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+}  // namespace dkf::sim

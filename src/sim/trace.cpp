@@ -1,0 +1,100 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace dkf::sim {
+
+namespace {
+
+/// Minimal JSON string escaping for names we generate ourselves.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// ns -> microsecond string with fractional precision ("12.345").
+std::string usStamp(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(t / 1000),
+                static_cast<unsigned long long>(t % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::uint32_t Tracer::track(const std::string& name) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return i;
+  }
+  tracks_.push_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::span(std::uint32_t track_id, const std::string& name,
+                  TimeNs begin, TimeNs end, const std::string& category) {
+  if (!enabled_) return;
+  DKF_CHECK(track_id < tracks_.size());
+  DKF_CHECK_MSG(end >= begin, "span '" << name << "' ends before it begins");
+  spans_.push_back(Span{track_id, name, category, begin, end});
+}
+
+void Tracer::instant(std::uint32_t track_id, const std::string& name,
+                     TimeNs at, const std::string& category) {
+  if (!enabled_) return;
+  DKF_CHECK(track_id < tracks_.size());
+  instants_.push_back(Instant{track_id, name, category, at});
+}
+
+void Tracer::counter(const std::string& name, TimeNs at, double value) {
+  if (!enabled_) return;
+  counters_.push_back(Counter{name, at, value});
+}
+
+void Tracer::exportJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  // Thread-name metadata gives each track a labeled row.
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"args\":{\"name\":\"" << escape(tracks_[i]) << "\"}}";
+  }
+  for (const Span& s : spans_) {
+    sep();
+    os << "{\"name\":\"" << escape(s.name) << "\",\"cat\":\""
+       << escape(s.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << s.track << ",\"ts\":" << usStamp(s.begin)
+       << ",\"dur\":" << usStamp(s.end - s.begin) << "}";
+  }
+  for (const Instant& i : instants_) {
+    sep();
+    os << "{\"name\":\"" << escape(i.name) << "\",\"cat\":\""
+       << escape(i.category) << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+       << "\"tid\":" << i.track << ",\"ts\":" << usStamp(i.at) << "}";
+  }
+  for (const Counter& c : counters_) {
+    sep();
+    os << "{\"name\":\"" << escape(c.name)
+       << "\",\"ph\":\"C\",\"pid\":1,\"ts\":" << usStamp(c.at)
+       << ",\"args\":{\"value\":" << c.value << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace dkf::sim

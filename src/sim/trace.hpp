@@ -1,0 +1,110 @@
+// Execution tracing: records spans (begin/end) and instant events on named
+// tracks in virtual time and exports Chrome trace-event JSON
+// (chrome://tracing, Perfetto). Used to visualize the communication flows
+// of the paper's Fig. 2/Fig. 7 — who launches what, when kernels run, when
+// packets fly, and where the overlap happens.
+//
+// Tracing is opt-in and zero-cost when disabled: a null Tracer drops all
+// records. Components take a Tracer& and emit through it; the default
+// global tracer is disabled.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dkf::sim {
+
+class Tracer {
+ public:
+  /// A disabled tracer drops everything (the default).
+  Tracer() = default;
+  /// An enabled tracer records into memory until exportJson().
+  static Tracer enabled() {
+    Tracer t;
+    t.enabled_ = true;
+    return t;
+  }
+
+  bool isEnabled() const { return enabled_; }
+
+  /// A track groups related spans (rendered as one row): e.g. "rank0.cpu",
+  /// "gpu0.stream2", "fabric.ib0->1". Returns a stable id.
+  std::uint32_t track(const std::string& name);
+
+  /// Record a span [begin, end) on `track_id`.
+  void span(std::uint32_t track_id, const std::string& name, TimeNs begin,
+            TimeNs end, const std::string& category = "span");
+
+  /// Record an instantaneous event.
+  void instant(std::uint32_t track_id, const std::string& name, TimeNs at,
+               const std::string& category = "event");
+
+  /// Record a counter sample (rendered as a graph in the viewer).
+  void counter(const std::string& name, TimeNs at, double value);
+
+  std::size_t eventCount() const {
+    return spans_.size() + instants_.size() + counters_.size();
+  }
+
+  /// Write Chrome trace-event JSON ("traceEvents" array format).
+  /// Timestamps are exported in microseconds (the format's unit) with
+  /// nanosecond precision preserved as fractions.
+  void exportJson(std::ostream& os) const;
+
+ private:
+  struct Span {
+    std::uint32_t track;
+    std::string name;
+    std::string category;
+    TimeNs begin;
+    TimeNs end;
+  };
+  struct Instant {
+    std::uint32_t track;
+    std::string name;
+    std::string category;
+    TimeNs at;
+  };
+  struct Counter {
+    std::string name;
+    TimeNs at;
+    double value;
+  };
+
+  bool enabled_{false};
+  std::vector<std::string> tracks_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<Counter> counters_;
+};
+
+/// RAII helper: opens a span at construction time, closes it at the
+/// engine's current time when finish() is called (or never records if the
+/// tracer is disabled).
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, std::uint32_t track_id, std::string name,
+            TimeNs begin)
+      : tracer_(&tracer), track_(track_id), name_(std::move(name)),
+        begin_(begin) {}
+
+  void finish(TimeNs end, const std::string& category = "span") {
+    if (!finished_ && tracer_->isEnabled()) {
+      tracer_->span(track_, name_, begin_, end, category);
+    }
+    finished_ = true;
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint32_t track_;
+  std::string name_;
+  TimeNs begin_;
+  bool finished_{false};
+};
+
+}  // namespace dkf::sim

@@ -1,0 +1,65 @@
+// bench_util: table rendering, cell formatting, and the experiment result
+// helpers that feed EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_util/experiment.hpp"
+#include "bench_util/table.hpp"
+#include "common/check.hpp"
+
+namespace dkf::bench {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"A", "Longer header", "C"});
+  t.addRow({"1", "x", "33333"});
+  t.addRow({"22", "yy", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A  | Longer header | C     |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy            | 4     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.addRow({"only one"}), CheckFailure);
+}
+
+TEST(Cells, FixedPrecisionAndUnits) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(10.0, 0), "10");
+  EXPECT_EQ(cellUs(12.345), "12.35 us");
+  EXPECT_EQ(cellUs(25000.0), "25.00 ms");
+}
+
+TEST(Banner, ContainsTitleAndSubtitle) {
+  std::ostringstream os;
+  banner(os, "Title here", "sub");
+  EXPECT_NE(os.str().find("Title here"), std::string::npos);
+  EXPECT_NE(os.str().find("sub"), std::string::npos);
+}
+
+TEST(ExchangeResult, ObservedCommunicationResidual) {
+  ExchangeResult r;
+  r.total_elapsed = us(100);
+  r.breakdown.launching = us(30);
+  r.breakdown.scheduling = us(10);
+  r.breakdown.synchronize = us(20);
+  r.breakdown.pack_unpack = us(500);  // GPU-side, not subtracted
+  EXPECT_EQ(r.observedCommunication(), us(40));
+  r.breakdown.launching = us(200);  // attribution exceeds elapsed
+  EXPECT_EQ(r.observedCommunication(), 0u);
+}
+
+TEST(ExchangeResult, MeanLatencyFromSamples) {
+  ExchangeResult r;
+  r.latency_us.add(10.0);
+  r.latency_us.add(30.0);
+  EXPECT_DOUBLE_EQ(r.meanLatencyUs(), 20.0);
+}
+
+}  // namespace
+}  // namespace dkf::bench

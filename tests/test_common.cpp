@@ -1,0 +1,155 @@
+// Unit tests for src/common: units, checks, rng, stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace dkf {
+namespace {
+
+TEST(Units, DurationConstructors) {
+  EXPECT_EQ(ns(7), 7u);
+  EXPECT_EQ(us(3), 3'000u);
+  EXPECT_EQ(ms(2), 2'000'000u);
+  EXPECT_EQ(sec(1), 1'000'000'000u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(toUs(us(12)), 12.0);
+  EXPECT_DOUBLE_EQ(toMs(ms(5)), 5.0);
+  EXPECT_DOUBLE_EQ(toSec(sec(2)), 2.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(1), 1024ull * 1024 * 1024);
+}
+
+TEST(Units, BandwidthTransferTime) {
+  // 1 GB/s == 1 byte/ns: 1000 bytes take 1000 ns.
+  EXPECT_EQ(GBps(1).transferTime(1000), 1000u);
+  // 75 GB/s moves 75 bytes per ns.
+  EXPECT_EQ(GBps(75).transferTime(75), 1u);
+  EXPECT_EQ(GBps(75).transferTime(0), 0u);
+  // Rounds up: 1 byte at 2 GB/s is half a ns -> 1 ns.
+  EXPECT_EQ(GBps(2).transferTime(1), 1u);
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(formatDuration(ns(500)), "500 ns");
+  EXPECT_EQ(formatDuration(us(123)), "123.00 us");
+  EXPECT_EQ(formatDuration(ms(45)), "45.00 ms");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(KiB(512)), "512.0 KiB");
+  EXPECT_EQ(formatBytes(MiB(3)), "3.0 MiB");
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_THROW(DKF_CHECK(false), CheckFailure);
+  EXPECT_NO_THROW(DKF_CHECK(true));
+}
+
+TEST(Check, MessageIncludesExpressionAndText) {
+  try {
+    DKF_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(TimeBreakdown, AccumulateAndTotal) {
+  TimeBreakdown a{.pack_unpack = 10, .launching = 20, .scheduling = 5,
+                  .synchronize = 7, .communication = 100};
+  TimeBreakdown b = a;
+  b += a;
+  EXPECT_EQ(b.pack_unpack, 20u);
+  EXPECT_EQ(b.total(), 2 * a.total());
+  b.reset();
+  EXPECT_EQ(b.total(), 0u);
+}
+
+}  // namespace
+}  // namespace dkf

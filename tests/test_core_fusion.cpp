@@ -1,0 +1,283 @@
+// The fusion framework: request-list circular buffer semantics (§IV-A1),
+// scheduler launch policy (§IV-C), per-request GPU-side completion
+// signalling, and the <=2 us/message scheduler-overhead claim (§V-B).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/request_list.hpp"
+#include "core/scheduler.hpp"
+#include "sim/cpu.hpp"
+#include "ddt/datatype.hpp"
+#include "hw/machines.hpp"
+
+namespace dkf::core {
+namespace {
+
+ddt::LayoutPtr bytesLayout(std::size_t n) {
+  return std::make_shared<const ddt::Layout>(
+      ddt::flatten(ddt::Datatype::contiguous(n, ddt::Datatype::byte()), 1));
+}
+
+FusionRequest makeReq(FusionOp op, ddt::LayoutPtr layout,
+                      gpu::MemSpan origin = {}, gpu::MemSpan target = {}) {
+  FusionRequest r;
+  r.op = op;
+  r.layout = std::move(layout);
+  r.origin = origin;
+  r.target = target;
+  return r;
+}
+
+TEST(RequestList, EnqueueAssignsMonotonicUids) {
+  RequestList list(4);
+  auto layout = bytesLayout(64);
+  const auto a = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  const auto b = list.tryEnqueue(makeReq(FusionOp::Unpacking, layout));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(list.pendingCount(), 2u);
+  EXPECT_EQ(list.pendingBytes(), 128u);
+  list.checkInvariants();
+}
+
+TEST(RequestList, FullListRejectsWithNegativeUid) {
+  RequestList list(2);
+  auto layout = bytesLayout(8);
+  EXPECT_GE(list.tryEnqueue(makeReq(FusionOp::Packing, layout)), 0);
+  EXPECT_GE(list.tryEnqueue(makeReq(FusionOp::Packing, layout)), 0);
+  EXPECT_TRUE(list.full());
+  EXPECT_LT(list.tryEnqueue(makeReq(FusionOp::Packing, layout)), 0);
+  EXPECT_EQ(list.totalRejected(), 1u);
+  list.checkInvariants();
+}
+
+TEST(RequestList, BatchClaimsOldestFirstAndMarksBusy) {
+  RequestList list(8);
+  auto layout = bytesLayout(16);
+  for (int i = 0; i < 5; ++i) {
+    list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  }
+  auto batch = list.claimPendingBatch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(list.slot(batch[0]).uid, 0);
+  EXPECT_EQ(list.slot(batch[1]).uid, 1);
+  EXPECT_EQ(list.slot(batch[2]).uid, 2);
+  EXPECT_EQ(list.pendingCount(), 2u);
+  EXPECT_EQ(list.busyCount(), 3u);
+  list.checkInvariants();
+}
+
+TEST(RequestList, CompletionAndRetirementRecycleSlots) {
+  RequestList list(2);
+  auto layout = bytesLayout(16);
+  const auto a = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  const auto b = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  auto batch = list.claimPendingBatch(8);
+  ASSERT_EQ(batch.size(), 2u);
+
+  EXPECT_FALSE(list.queryAndRetire(a));  // still busy
+  list.signalCompletion(batch[0]);
+  EXPECT_TRUE(list.queryAndRetire(a));
+  EXPECT_FALSE(list.full());  // slot recycled
+
+  // New request reuses the freed slot while b is still busy.
+  const auto c = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  EXPECT_GE(c, 0);
+  list.signalCompletion(batch[1]);
+  EXPECT_TRUE(list.queryAndRetire(b));
+  EXPECT_TRUE(list.queryAndRetire(b));  // unknown uid => already retired
+  list.checkInvariants();
+}
+
+TEST(RequestList, SignalOnNonBusySlotThrows) {
+  RequestList list(2);
+  auto layout = bytesLayout(16);
+  list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  EXPECT_THROW(list.signalCompletion(0), CheckFailure);  // pending, not busy
+  EXPECT_THROW(list.signalCompletion(1), CheckFailure);  // idle
+}
+
+TEST(RequestListProperty, RandomizedLifecycleKeepsInvariants) {
+  Rng rng(77);
+  RequestList list(16);
+  auto layout = bytesLayout(32);
+  std::vector<std::int64_t> pending_uids;
+  std::vector<std::pair<std::int64_t, std::size_t>> busy;  // uid, slot
+
+  for (int step = 0; step < 5000; ++step) {
+    switch (rng.below(4)) {
+      case 0: {  // enqueue
+        const auto uid = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+        if (uid >= 0) pending_uids.push_back(uid);
+        break;
+      }
+      case 1: {  // claim a batch
+        const auto batch = list.claimPendingBatch(rng.range(1, 6));
+        for (auto slot : batch) {
+          const auto uid = list.slot(slot).uid;
+          std::erase(pending_uids, uid);
+          busy.emplace_back(uid, slot);
+        }
+        break;
+      }
+      case 2: {  // complete a random busy request
+        if (busy.empty()) break;
+        const auto pick = rng.below(busy.size());
+        list.signalCompletion(busy[pick].second);
+        // Retire immediately half the time; otherwise leave it parked.
+        if (rng.chance(0.5)) {
+          EXPECT_TRUE(list.queryAndRetire(busy[pick].first));
+        } else {
+          // Park: retire later via a sweep below.
+        }
+        busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      default: {  // query something random
+        const auto uid = static_cast<std::int64_t>(rng.below(200));
+        (void)list.queryAndRetire(uid);
+        break;
+      }
+    }
+    list.checkInvariants();
+  }
+}
+
+// ---- Scheduler behaviour ----
+
+class SchedulerTest : public ::testing::Test {
+ public:
+  SchedulerTest()
+      : machine_(hw::lassen()), cpu_(eng_), gpu_(eng_, machine_.node, 0) {}
+
+  FusionRequest packReq(std::size_t bytes) {
+    auto layout = bytesLayout(bytes);
+    auto src = gpu_.memory().allocate(bytes);
+    auto dst = gpu_.memory().allocate(bytes);
+    return makeReq(FusionOp::Packing, layout, src, dst);
+  }
+
+  sim::Engine eng_;
+  hw::MachineSpec machine_;
+  sim::CpuTimeline cpu_;
+  gpu::Gpu gpu_;
+};
+
+TEST_F(SchedulerTest, BelowThresholdDefersLaunch) {
+  FusionPolicy policy;
+  policy.threshold_bytes = 512 * 1024;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    const auto uid = co_await s.enqueue(t.packReq(1024));
+    EXPECT_GE(uid, 0);
+  }(sched, *this));
+  eng_.run();
+  EXPECT_EQ(sched.fusedKernelsLaunched(), 0u);
+  EXPECT_EQ(sched.requests().pendingCount(), 1u);
+}
+
+TEST_F(SchedulerTest, ThresholdTriggersSingleFusedKernel) {
+  FusionPolicy policy;
+  policy.threshold_bytes = 64 * 1024;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await s.enqueue(t.packReq(16 * 1024));  // crosses 64 KiB at i=3
+    }
+  }(sched, *this));
+  eng_.run();
+  // 8 x 16 KiB = 128 KiB total: the threshold fires at 64 KiB and again
+  // when the second 64 KiB accumulates -> exactly 2 fused kernels.
+  EXPECT_EQ(sched.fusedKernelsLaunched(), 2u);
+  EXPECT_EQ(sched.requestsFused(), 8u);
+  EXPECT_DOUBLE_EQ(sched.meanBatchSize(), 4.0);
+}
+
+TEST_F(SchedulerTest, FlushLaunchesPendingImmediately) {
+  FusionScheduler sched(eng_, cpu_, gpu_, FusionPolicy{});
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    co_await s.enqueue(t.packReq(1024));
+    co_await s.enqueue(t.packReq(1024));
+    EXPECT_EQ(s.fusedKernelsLaunched(), 0u);
+    co_await s.flush();
+    EXPECT_EQ(s.fusedKernelsLaunched(), 1u);
+  }(sched, *this));
+  eng_.run();
+  EXPECT_EQ(sched.requestsFused(), 2u);
+}
+
+TEST_F(SchedulerTest, QueryRetiresCompletedRequests) {
+  FusionScheduler sched(eng_, cpu_, gpu_, FusionPolicy{});
+  std::int64_t uid = -1;
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t,
+                std::int64_t& out) -> sim::Task<void> {
+    out = co_await s.enqueue(t.packReq(2048));
+    EXPECT_FALSE(s.query(out));  // not even launched
+    co_await s.flush();
+  }(sched, *this, uid));
+  eng_.run();  // fused kernel completes in virtual time
+  EXPECT_TRUE(sched.query(uid));
+  EXPECT_TRUE(sched.requests().empty());
+}
+
+TEST_F(SchedulerTest, DataActuallyMovesThroughFusedKernel) {
+  FusionScheduler sched(eng_, cpu_, gpu_, FusionPolicy{});
+  auto layout = bytesLayout(4096);
+  auto src = gpu_.memory().allocate(4096);
+  auto dst = gpu_.memory().allocate(4096);
+  for (std::size_t i = 0; i < 4096; ++i)
+    src.bytes[i] = static_cast<std::byte>(i % 131);
+
+  eng_.spawn([](FusionScheduler& s, ddt::LayoutPtr l, gpu::MemSpan a,
+                gpu::MemSpan b) -> sim::Task<void> {
+    co_await s.enqueue(makeReq(FusionOp::Packing, std::move(l), a, b));
+    co_await s.flush();
+  }(sched, layout, src, dst));
+  eng_.run();
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(dst.bytes[i], src.bytes[i]);
+  }
+}
+
+TEST_F(SchedulerTest, SchedulerOverheadWithinTwoMicrosecondsPerMessage) {
+  // §V-B: "The scheduling overhead of the proposed scheduler ... as low as
+  // 2 us per message." Our policy charges enqueue_cost + query_cost.
+  FusionPolicy policy;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  constexpr int kMessages = 64;
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    for (int i = 0; i < kMessages; ++i) {
+      const auto uid = co_await s.enqueue(t.packReq(1024));
+      (void)uid;
+    }
+    co_await s.flush();
+  }(sched, *this));
+  eng_.run();
+  for (int uid = 0; uid < kMessages; ++uid) EXPECT_TRUE(sched.query(uid));
+  const double per_message =
+      static_cast<double>(sched.breakdown().scheduling +
+                          sched.breakdown().synchronize) /
+      kMessages;
+  EXPECT_LE(per_message, 2000.0);  // <= 2 us
+}
+
+TEST_F(SchedulerTest, MaxRequestCapSplitsBatches) {
+  FusionPolicy policy;
+  policy.threshold_bytes = 1 << 30;  // never trigger by bytes
+  policy.max_requests_per_kernel = 4;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    for (int i = 0; i < 9; ++i) co_await s.enqueue(t.packReq(512));
+    co_await s.flush();
+  }(sched, *this));
+  eng_.run();
+  // Cap fires at 4 pending (twice); flush picks up the 9th.
+  EXPECT_EQ(sched.fusedKernelsLaunched(), 3u);
+  EXPECT_EQ(sched.requestsFused(), 9u);
+}
+
+}  // namespace
+}  // namespace dkf::core

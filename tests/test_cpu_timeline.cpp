@@ -1,0 +1,109 @@
+// CpuTimeline: the serializing one-thread-per-rank resource.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machines.hpp"
+#include "sim/cpu.hpp"
+
+namespace dkf::sim {
+namespace {
+
+TEST(CpuTimeline, BusySlicesSerialize) {
+  Engine eng;
+  CpuTimeline cpu(eng);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](CpuTimeline& c, std::vector<TimeNs>& out,
+                 Engine& e) -> Task<void> {
+      co_await c.busy(us(10));
+      out.push_back(e.now());
+    }(cpu, done, eng));
+  }
+  eng.run();
+  // Three concurrent claimants of one CPU: 10, 20, 30 us.
+  EXPECT_EQ(done, (std::vector<TimeNs>{us(10), us(20), us(30)}));
+  EXPECT_EQ(cpu.totalBusy(), us(30));
+}
+
+TEST(CpuTimeline, HoldUntilReturnsSpinTime) {
+  Engine eng;
+  CpuTimeline cpu(eng);
+  DurationNs held = 0;
+  eng.spawn([](CpuTimeline& c, DurationNs& out) -> Task<void> {
+    out = co_await c.holdUntil(us(50));
+  }(cpu, held));
+  eng.run();
+  EXPECT_EQ(held, us(50));
+  EXPECT_EQ(eng.now(), us(50));
+}
+
+TEST(CpuTimeline, HoldUntilPastTimeIsFree) {
+  Engine eng;
+  eng.schedule(us(100), [] {});
+  eng.run();
+  CpuTimeline cpu(eng);
+  DurationNs held = 99;
+  eng.spawn([](CpuTimeline& c, DurationNs& out) -> Task<void> {
+    out = co_await c.holdUntil(us(10));  // already in the past
+  }(cpu, held));
+  eng.run();
+  EXPECT_EQ(held, 0u);
+}
+
+TEST(CpuTimeline, HoldQueuesBehindBusyWork) {
+  Engine eng;
+  CpuTimeline cpu(eng);
+  DurationNs held = 0;
+  TimeNs hold_done = 0;
+  eng.spawn([](CpuTimeline& c) -> Task<void> {
+    co_await c.busy(us(30));
+  }(cpu));
+  eng.spawn([](CpuTimeline& c, DurationNs& h, TimeNs& done,
+               Engine& e) -> Task<void> {
+    h = co_await c.holdUntil(us(20));  // device ready at 20, CPU free at 30
+    done = e.now();
+  }(cpu, held, hold_done, eng));
+  eng.run();
+  EXPECT_EQ(hold_done, us(30));  // could not start before the busy slice
+  EXPECT_EQ(held, 0u);           // device was already done: no spin time
+}
+
+TEST(CpuTimeline, InterleavedBusyAndIdle) {
+  Engine eng;
+  CpuTimeline cpu(eng);
+  TimeNs second_done = 0;
+  eng.spawn([](CpuTimeline& c, Engine& e, TimeNs& out) -> Task<void> {
+    co_await c.busy(us(5));
+    co_await e.delay(us(100));  // idle (not holding the CPU)
+    co_await c.busy(us(5));
+    out = e.now();
+  }(cpu, eng, second_done));
+  TimeNs other_done = 0;
+  eng.spawn([](CpuTimeline& c, Engine& e, TimeNs& out) -> Task<void> {
+    co_await c.busy(us(20));  // runs while the first task idles
+    out = e.now();
+  }(cpu, eng, other_done));
+  eng.run();
+  EXPECT_EQ(other_done, us(25));    // queued behind the first 5 us slice
+  EXPECT_EQ(second_done, us(110));  // 5 + 100 idle + 5
+  EXPECT_EQ(cpu.totalBusy(), us(30));
+}
+
+TEST(CpuTimeline, EachRankHasIndependentCpu) {
+  Engine eng;
+  CpuTimeline cpu_a(eng), cpu_b(eng);
+  std::vector<TimeNs> done;
+  for (auto* cpu : {&cpu_a, &cpu_b}) {
+    eng.spawn([](CpuTimeline& c, std::vector<TimeNs>& out,
+                 Engine& e) -> Task<void> {
+      co_await c.busy(us(10));
+      out.push_back(e.now());
+    }(*cpu, done, eng));
+  }
+  eng.run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{us(10), us(10)}));  // parallel ranks
+}
+
+}  // namespace
+}  // namespace dkf::sim

@@ -1,0 +1,291 @@
+// Unit tests for the datatype algebra: sizes, extents, flattening shapes.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/check.hpp"
+#include "ddt/datatype.hpp"
+#include "ddt/layout.hpp"
+
+namespace dkf::ddt {
+namespace {
+
+TEST(Primitives, SizesAndExtents) {
+  EXPECT_EQ(Datatype::byte()->size(), 1u);
+  EXPECT_EQ(Datatype::char_()->size(), 1u);
+  EXPECT_EQ(Datatype::int32()->size(), 4u);
+  EXPECT_EQ(Datatype::int64()->size(), 8u);
+  EXPECT_EQ(Datatype::float32()->size(), 4u);
+  EXPECT_EQ(Datatype::float64()->size(), 8u);
+  EXPECT_EQ(Datatype::complexDouble()->size(), 16u);
+  for (auto& t : {Datatype::byte(), Datatype::int32(), Datatype::float64()}) {
+    EXPECT_EQ(t->size(), t->extent());
+    EXPECT_TRUE(t->isContiguousType());
+    EXPECT_EQ(t->lb(), 0);
+  }
+}
+
+TEST(Primitives, SingletonsShareIds) {
+  EXPECT_EQ(Datatype::float64()->id(), Datatype::float64()->id());
+  EXPECT_NE(Datatype::float64()->id(), Datatype::float32()->id());
+}
+
+TEST(Contiguous, SizeExtentAndFlatten) {
+  auto t = Datatype::contiguous(10, Datatype::float64());
+  EXPECT_EQ(t->size(), 80u);
+  EXPECT_EQ(t->extent(), 80u);
+  EXPECT_TRUE(t->isContiguousType());
+  auto layout = flatten(t, 3);
+  EXPECT_TRUE(layout.isContiguous());
+  EXPECT_EQ(layout.size(), 240u);
+  EXPECT_EQ(layout.blockCount(), 1u);
+}
+
+TEST(Contiguous, ZeroCount) {
+  auto t = Datatype::contiguous(0, Datatype::int32());
+  EXPECT_EQ(t->size(), 0u);
+  EXPECT_EQ(t->extent(), 0u);
+  EXPECT_EQ(flatten(t, 4).blockCount(), 0u);
+}
+
+TEST(Vector, ClassicStridedColumns) {
+  // A "column" of a 4x8 double matrix: count=4 rows, blocklength=1,
+  // stride=8 doubles.
+  auto col = Datatype::vector(4, 1, 8, Datatype::float64());
+  EXPECT_EQ(col->size(), 4u * 8u);
+  EXPECT_EQ(col->extent(), (3u * 8u + 1u) * 8u);  // 25 doubles
+  EXPECT_FALSE(col->isContiguousType());
+
+  auto layout = flatten(col, 1);
+  ASSERT_EQ(layout.blockCount(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(layout.segments()[i].offset, static_cast<std::int64_t>(i * 64));
+    EXPECT_EQ(layout.segments()[i].len, 8u);
+  }
+}
+
+TEST(Vector, StrideEqualBlocklengthIsContiguous) {
+  auto t = Datatype::vector(6, 5, 5, Datatype::int32());
+  EXPECT_TRUE(t->isContiguousType());
+  EXPECT_EQ(flatten(t, 1).blockCount(), 1u);
+  EXPECT_EQ(flatten(t, 1).size(), 6u * 5u * 4u);
+}
+
+TEST(Vector, MultipleCountsSpacedByExtent) {
+  auto t = Datatype::vector(2, 1, 4, Datatype::byte());
+  // extent: last block start 4 + 1 = 5 bytes.
+  EXPECT_EQ(t->extent(), 5u);
+  auto layout = flatten(t, 2);
+  // Element 0: offsets {0, 4}; element 1 at +5: {5, 9} -> {4,5} coalesce.
+  ASSERT_EQ(layout.blockCount(), 3u);
+  EXPECT_EQ(layout.segments()[0], (Segment{0, 1}));
+  EXPECT_EQ(layout.segments()[1], (Segment{4, 2}));
+  EXPECT_EQ(layout.segments()[2], (Segment{9, 1}));
+}
+
+TEST(Hvector, ByteStride) {
+  auto t = Datatype::hvector(3, 2, 32, Datatype::float64());
+  auto layout = flatten(t, 1);
+  ASSERT_EQ(layout.blockCount(), 3u);
+  EXPECT_EQ(layout.segments()[1].offset, 32);
+  EXPECT_EQ(layout.segments()[1].len, 16u);
+  EXPECT_EQ(t->size(), 48u);
+  EXPECT_EQ(t->extent(), 2u * 32u + 16u);
+}
+
+TEST(Indexed, IrregularBlocks) {
+  const std::array<std::size_t, 3> lens{2, 1, 3};
+  const std::array<std::int64_t, 3> displs{0, 5, 9};
+  auto t = Datatype::indexed(lens, displs, Datatype::int32());
+  EXPECT_EQ(t->size(), 6u * 4u);
+  EXPECT_EQ(t->extent(), (9u + 3u) * 4u);
+  auto layout = flatten(t, 1);
+  ASSERT_EQ(layout.blockCount(), 3u);
+  EXPECT_EQ(layout.segments()[0], (Segment{0, 8}));
+  EXPECT_EQ(layout.segments()[1], (Segment{20, 4}));
+  EXPECT_EQ(layout.segments()[2], (Segment{36, 12}));
+}
+
+TEST(Indexed, AdjacentBlocksCoalesce) {
+  const std::array<std::size_t, 2> lens{3, 2};
+  const std::array<std::int64_t, 2> displs{0, 3};
+  auto t = Datatype::indexed(lens, displs, Datatype::float64());
+  auto layout = flatten(t, 1);
+  EXPECT_EQ(layout.blockCount(), 1u);
+  EXPECT_EQ(layout.size(), 40u);
+}
+
+TEST(Hindexed, ByteDisplacements) {
+  const std::array<std::size_t, 2> lens{1, 1};
+  const std::array<std::int64_t, 2> displs{0, 100};
+  auto t = Datatype::hindexed(lens, displs, Datatype::float64());
+  auto layout = flatten(t, 1);
+  ASSERT_EQ(layout.blockCount(), 2u);
+  EXPECT_EQ(layout.segments()[1].offset, 100);
+  EXPECT_EQ(t->extent(), 108u);
+}
+
+TEST(IndexedBlock, UniformBlocks) {
+  const std::array<std::int64_t, 4> displs{0, 4, 8, 12};
+  auto t = Datatype::indexedBlock(2, displs, Datatype::int32());
+  EXPECT_EQ(t->size(), 8u * 4u);
+  auto layout = flatten(t, 1);
+  // Blocks of 2 ints at 0,4,8,12 ints: [0,8),[16,24),[32,40),[48,56).
+  ASSERT_EQ(layout.blockCount(), 4u);
+  EXPECT_EQ(layout.segments()[3], (Segment{48, 8}));
+}
+
+TEST(Struct, MixedMemberTypes) {
+  // struct { double d; int i[2]; } with explicit displacements 0 and 8.
+  const std::array<std::size_t, 2> lens{1, 2};
+  const std::array<std::int64_t, 2> displs{0, 8};
+  const std::array<DatatypePtr, 2> types{Datatype::float64(),
+                                         Datatype::int32()};
+  auto t = Datatype::struct_(lens, displs, types);
+  EXPECT_EQ(t->size(), 16u);
+  EXPECT_EQ(t->extent(), 16u);
+  EXPECT_TRUE(t->isContiguousType());
+
+  // With a hole: int at byte 12.
+  const std::array<std::int64_t, 2> displs2{0, 12};
+  auto t2 = Datatype::struct_(lens, displs2, types);
+  EXPECT_EQ(t2->size(), 16u);
+  EXPECT_EQ(t2->extent(), 20u);
+  EXPECT_FALSE(t2->isContiguousType());
+  auto layout = flatten(t2, 1);
+  ASSERT_EQ(layout.blockCount(), 2u);
+  EXPECT_EQ(layout.segments()[1], (Segment{12, 8}));
+}
+
+TEST(Struct, OnIndexedNests) {
+  // The specfem3D_cm shape: struct over an indexed type.
+  const std::array<std::size_t, 2> ilens{1, 1};
+  const std::array<std::int64_t, 2> idispls{0, 3};
+  auto inner = Datatype::indexed(ilens, idispls, Datatype::float32());
+  const std::array<std::size_t, 1> slens{2};
+  const std::array<std::int64_t, 1> sdispls{0};
+  const std::array<DatatypePtr, 1> stypes{inner};
+  auto t = Datatype::struct_(slens, sdispls, stypes);
+  auto layout = flatten(t, 1);
+  // inner extent = 16 bytes; two copies give runs at {0,12} and {16,28};
+  // the runs at 12 and 16 are adjacent and coalesce.
+  ASSERT_EQ(layout.blockCount(), 3u);
+  EXPECT_EQ(layout.segments()[1], (Segment{12, 8}));
+  EXPECT_EQ(layout.segments()[2], (Segment{28, 4}));
+}
+
+TEST(Subarray, TwoDimensionalCOrder) {
+  // 4x6 array of doubles, 2x3 sub-block starting at (1,2).
+  const std::array<std::size_t, 2> sizes{4, 6};
+  const std::array<std::size_t, 2> subsizes{2, 3};
+  const std::array<std::size_t, 2> starts{1, 2};
+  auto t = Datatype::subarray(sizes, subsizes, starts, Datatype::Order::C,
+                              Datatype::float64());
+  EXPECT_EQ(t->size(), 6u * 8u);
+  EXPECT_EQ(t->extent(), 24u * 8u);
+  auto layout = flatten(t, 1);
+  ASSERT_EQ(layout.blockCount(), 2u);
+  EXPECT_EQ(layout.segments()[0], (Segment{(1 * 6 + 2) * 8, 24u}));
+  EXPECT_EQ(layout.segments()[1], (Segment{(2 * 6 + 2) * 8, 24u}));
+}
+
+TEST(Subarray, FortranOrderMatchesTransposedC) {
+  const std::array<std::size_t, 2> sizes{6, 4};     // (fast, slow) in Fortran
+  const std::array<std::size_t, 2> subsizes{3, 2};
+  const std::array<std::size_t, 2> starts{2, 1};
+  auto f = Datatype::subarray(sizes, subsizes, starts,
+                              Datatype::Order::Fortran, Datatype::float64());
+  const std::array<std::size_t, 2> csizes{4, 6};
+  const std::array<std::size_t, 2> csub{2, 3};
+  const std::array<std::size_t, 2> cstarts{1, 2};
+  auto c = Datatype::subarray(csizes, csub, cstarts, Datatype::Order::C,
+                              Datatype::float64());
+  EXPECT_EQ(flatten(f, 1).segments(), flatten(c, 1).segments());
+}
+
+TEST(Subarray, FullSubarrayIsContiguous) {
+  const std::array<std::size_t, 3> sizes{4, 5, 6};
+  const std::array<std::size_t, 3> starts{0, 0, 0};
+  auto t = Datatype::subarray(sizes, sizes, starts, Datatype::Order::C,
+                              Datatype::float32());
+  EXPECT_TRUE(t->isContiguousType());
+  EXPECT_EQ(flatten(t, 1).blockCount(), 1u);
+}
+
+TEST(Subarray, OutOfBoundsThrows) {
+  const std::array<std::size_t, 1> sizes{4};
+  const std::array<std::size_t, 1> subsizes{3};
+  const std::array<std::size_t, 1> starts{2};
+  EXPECT_THROW(Datatype::subarray(sizes, subsizes, starts, Datatype::Order::C,
+                                  Datatype::byte()),
+               CheckFailure);
+}
+
+TEST(Resized, OverridesExtent) {
+  auto t = Datatype::resized(0, 64, Datatype::float64());
+  EXPECT_EQ(t->size(), 8u);
+  EXPECT_EQ(t->extent(), 64u);
+  auto layout = flatten(t, 3);
+  ASSERT_EQ(layout.blockCount(), 3u);
+  EXPECT_EQ(layout.segments()[1].offset, 64);
+  EXPECT_EQ(layout.segments()[2].offset, 128);
+}
+
+TEST(NestedVector, MilcLikeShape) {
+  // Nested vector-of-vector: the MILC 4-D face pattern in miniature.
+  auto inner = Datatype::vector(3, 2, 4, Datatype::complexDouble());
+  auto outer = Datatype::vector(2, 1, 3, inner);
+  auto layout = flatten(outer, 1);
+  EXPECT_EQ(layout.size(), 2u * 3u * 2u * 16u);
+  EXPECT_EQ(layout.blockCount(), 6u);
+  EXPECT_EQ(layout.minBlock(), 32u);
+}
+
+TEST(Layout, StatsAndDensity) {
+  const std::array<std::size_t, 3> lens{1, 2, 3};
+  const std::array<std::int64_t, 3> displs{0, 10, 20};
+  auto t = Datatype::indexed(lens, displs, Datatype::int32());
+  auto layout = flatten(t, 1);
+  EXPECT_EQ(layout.minBlock(), 4u);
+  EXPECT_EQ(layout.maxBlock(), 12u);
+  EXPECT_DOUBLE_EQ(layout.meanBlock(), 8.0);
+  EXPECT_DOUBLE_EQ(layout.density(),
+                   static_cast<double>(layout.size()) /
+                       static_cast<double>(layout.extent()));
+}
+
+TEST(Layout, EmptyLayout) {
+  auto t = Datatype::contiguous(0, Datatype::byte());
+  auto layout = flatten(t, 5);
+  EXPECT_EQ(layout.blockCount(), 0u);
+  EXPECT_EQ(layout.size(), 0u);
+  EXPECT_TRUE(layout.isContiguous());
+  EXPECT_DOUBLE_EQ(layout.meanBlock(), 0.0);
+}
+
+TEST(LayoutCache, HitsAndMisses) {
+  LayoutCache cache;
+  auto t = Datatype::vector(8, 2, 4, Datatype::float64());
+  auto a = cache.get(t, 10);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  auto b = cache.get(t, 10);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(a.get(), b.get());  // shared entry
+  auto c = cache.get(t, 11);    // different count -> different entry
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(Describe, MentionsShape) {
+  auto t = Datatype::vector(4, 1, 8, Datatype::float64());
+  EXPECT_NE(t->describe().find("hvector"), std::string::npos);
+  EXPECT_NE(Datatype::float64()->describe().find("double"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dkf::ddt

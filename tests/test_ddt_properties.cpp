@@ -1,0 +1,149 @@
+// Algebraic property sweeps for the datatype engine (TEST_P): invariants
+// that must hold for EVERY constructor — size/extent laws, flattening
+// consistency between counts, coalescing idempotence, and containment.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "ddt/datatype.hpp"
+#include "ddt/layout.hpp"
+
+namespace dkf::ddt {
+namespace {
+
+/// A catalog of representative types, one per constructor family.
+std::vector<std::pair<std::string, DatatypePtr>> catalog() {
+  std::vector<std::pair<std::string, DatatypePtr>> types;
+  types.emplace_back("primitive", Datatype::float64());
+  types.emplace_back("contiguous", Datatype::contiguous(7, Datatype::int32()));
+  types.emplace_back("vector",
+                     Datatype::vector(5, 3, 8, Datatype::float32()));
+  types.emplace_back("hvector",
+                     Datatype::hvector(4, 2, 40, Datatype::float64()));
+  {
+    const std::array<std::size_t, 3> lens{1, 2, 3};
+    const std::array<std::int64_t, 3> displs{0, 4, 9};
+    types.emplace_back("indexed",
+                       Datatype::indexed(lens, displs, Datatype::int32()));
+  }
+  {
+    const std::array<std::int64_t, 3> displs{0, 3, 7};
+    types.emplace_back(
+        "indexed_block",
+        Datatype::indexedBlock(2, displs, Datatype::float32()));
+  }
+  {
+    const std::array<std::size_t, 2> lens{1, 2};
+    const std::array<std::int64_t, 2> displs{0, 16};
+    const std::array<DatatypePtr, 2> members{Datatype::float64(),
+                                             Datatype::int32()};
+    types.emplace_back("struct", Datatype::struct_(lens, displs, members));
+  }
+  {
+    const std::array<std::size_t, 2> sizes{6, 8};
+    const std::array<std::size_t, 2> sub{3, 4};
+    const std::array<std::size_t, 2> starts{2, 1};
+    types.emplace_back("subarray",
+                       Datatype::subarray(sizes, sub, starts,
+                                          Datatype::Order::C,
+                                          Datatype::float64()));
+  }
+  types.emplace_back(
+      "resized", Datatype::resized(0, 100, Datatype::contiguous(
+                                               3, Datatype::int32())));
+  types.emplace_back(
+      "nested", Datatype::vector(3, 1, 2,
+                                 Datatype::vector(2, 2, 5,
+                                                  Datatype::float32())));
+  return types;
+}
+
+class TypeLaw : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static std::vector<std::pair<std::string, DatatypePtr>> types_;
+  const DatatypePtr& type() const { return types_[GetParam()].second; }
+  const std::string& name() const { return types_[GetParam()].first; }
+};
+std::vector<std::pair<std::string, DatatypePtr>> TypeLaw::types_ = catalog();
+
+TEST_P(TypeLaw, SizeNeverExceedsExtent) {
+  // With non-negative displacements and no overlap, data fits the span.
+  EXPECT_LE(type()->size(), type()->extent()) << name();
+}
+
+TEST_P(TypeLaw, FlattenSizeMatchesTypeSize) {
+  for (std::size_t count : {1u, 2u, 5u}) {
+    const auto layout = flatten(type(), count);
+    EXPECT_EQ(layout.size(), count * type()->size()) << name();
+    EXPECT_EQ(layout.extent(), count * type()->extent()) << name();
+  }
+}
+
+TEST_P(TypeLaw, CountedFlattenIsShiftedUnion) {
+  // flatten(type, 2)'s bytes == flatten(type,1) plus the same layout
+  // shifted by extent (after coalescing, compare via membership).
+  const auto one = flatten(type(), 1);
+  const auto two = flatten(type(), 2);
+  const auto extent = static_cast<std::int64_t>(type()->extent());
+
+  auto covered = [](const Layout& l, std::int64_t off) {
+    for (const auto& seg : l.segments()) {
+      if (off >= seg.offset &&
+          off < seg.offset + static_cast<std::int64_t>(seg.len)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& seg : one.segments()) {
+    for (std::int64_t o = seg.offset;
+         o < seg.offset + static_cast<std::int64_t>(seg.len); ++o) {
+      EXPECT_TRUE(covered(two, o)) << name() << " offset " << o;
+      EXPECT_TRUE(covered(two, o + extent))
+          << name() << " shifted offset " << o + extent;
+    }
+  }
+}
+
+TEST_P(TypeLaw, SegmentsSortedDisjointCoalesced) {
+  const auto layout = flatten(type(), 3);
+  const auto& segs = layout.segments();
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    // Strictly increasing with a gap (adjacent runs must have merged).
+    EXPECT_GT(segs[i].offset,
+              segs[i - 1].offset + static_cast<std::int64_t>(segs[i - 1].len))
+        << name();
+  }
+  for (const auto& s : segs) EXPECT_GT(s.len, 0u) << name();
+}
+
+TEST_P(TypeLaw, ContiguousWrapPreservesLayout) {
+  // contiguous(1, T) flattens identically to T.
+  const auto wrapped = Datatype::contiguous(1, type());
+  EXPECT_EQ(flatten(wrapped, 1).segments(), flatten(type(), 1).segments())
+      << name();
+  EXPECT_EQ(wrapped->size(), type()->size());
+}
+
+TEST_P(TypeLaw, VectorOfOneEqualsCountedFlatten) {
+  // vector(n, 1, 1, T) == n back-to-back copies of T.
+  const auto vec = Datatype::vector(3, 1, 1, type());
+  EXPECT_EQ(flatten(vec, 1).segments(), flatten(type(), 3).segments())
+      << name();
+}
+
+TEST_P(TypeLaw, DistinctTypesGetDistinctIds) {
+  const auto wrapped = Datatype::contiguous(1, type());
+  EXPECT_NE(wrapped->id(), type()->id());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstructors, TypeLaw,
+    ::testing::Range<std::size_t>(0, catalog().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& pinfo) {
+      return TypeLaw::types_[pinfo.param].first;
+    });
+
+}  // namespace
+}  // namespace dkf::ddt

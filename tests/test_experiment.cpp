@@ -1,0 +1,128 @@
+// Shape tests for the experiment harness: the qualitative findings of the
+// paper's evaluation must hold in the simulator — who wins on which layout,
+// the threshold U-shape, and the production-library gap. These back the
+// claims recorded in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "bench_util/experiment.hpp"
+#include "hw/machines.hpp"
+
+namespace dkf::bench {
+namespace {
+
+ExchangeConfig baseConfig(hw::MachineSpec machine, schemes::Scheme scheme,
+                          workloads::Workload wl) {
+  ExchangeConfig cfg;
+  cfg.machine = std::move(machine);
+  cfg.scheme = scheme;
+  cfg.workload = std::move(wl);
+  cfg.n_ops = 16;
+  cfg.iterations = 20;
+  cfg.warmup = 3;
+  return cfg;
+}
+
+double latencyOf(schemes::Scheme scheme, const workloads::Workload& wl,
+                 hw::MachineSpec machine, int n_ops = 16) {
+  auto cfg = baseConfig(std::move(machine), scheme, wl);
+  cfg.n_ops = n_ops;
+  return runBulkExchange(cfg).meanLatencyUs();
+}
+
+TEST(ExperimentShape, FusionBeatsSyncAndAsyncOnSparseLayout) {
+  const auto wl = workloads::specfem3dCm(32);
+  const auto machine = hw::lassen();
+  const double fusion = latencyOf(schemes::Scheme::Proposed, wl, machine);
+  const double sync = latencyOf(schemes::Scheme::GpuSync, wl, machine);
+  const double async = latencyOf(schemes::Scheme::GpuAsync, wl, machine);
+  EXPECT_LT(fusion * 2.0, sync);   // at least 2x on bulk sparse
+  EXPECT_LT(fusion * 2.0, async);
+}
+
+TEST(ExperimentShape, HybridWinsSmallDenseOnLassen) {
+  // Fig. 12(c): CPU-GPU-Hybrid is best for small, dense MILC layouts.
+  const auto wl = workloads::milcZdown(16);  // 16 blocks x 384 B
+  const auto machine = hw::lassen();
+  const double hybrid = latencyOf(schemes::Scheme::CpuGpuHybrid, wl, machine);
+  const double fusion = latencyOf(schemes::Scheme::Proposed, wl, machine);
+  const double sync = latencyOf(schemes::Scheme::GpuSync, wl, machine);
+  EXPECT_LT(hybrid, sync);
+  EXPECT_LT(hybrid, fusion);
+}
+
+TEST(ExperimentShape, FusionWinsLargeDense) {
+  // Fig. 12(d): for large dense layouts the proposed design wins again.
+  const auto wl = workloads::nasMgFace(128);  // 128 blocks x 1 KiB rows
+  const auto machine = hw::lassen();
+  const double fusion = latencyOf(schemes::Scheme::Proposed, wl, machine);
+  const double hybrid = latencyOf(schemes::Scheme::CpuGpuHybrid, wl, machine);
+  const double sync = latencyOf(schemes::Scheme::GpuSync, wl, machine);
+  EXPECT_LT(fusion, hybrid);
+  EXPECT_LT(fusion, sync);
+}
+
+TEST(ExperimentShape, NaiveProductionLibrariesOrdersOfMagnitudeSlower) {
+  // Fig. 14: SpectrumMPI/OpenMPI per-block copies on a sparse layout.
+  const auto wl = workloads::specfem3dOc(64);  // 2048 blocks
+  const auto machine = hw::lassen();
+  const double fusion = latencyOf(schemes::Scheme::Proposed, wl, machine, 8);
+  const double naive = latencyOf(schemes::Scheme::NaiveCopy, wl, machine, 8);
+  EXPECT_GT(naive, fusion * 50.0);
+}
+
+TEST(ExperimentShape, ThresholdSweepIsUShaped) {
+  // Fig. 8: under-fused (tiny threshold) and over-fused (huge threshold)
+  // both lose to the 512 KB sweet spot for a sparse bulk workload.
+  const auto wl = workloads::specfem3dCm(64);
+  auto run = [&](std::size_t threshold) {
+    auto cfg = baseConfig(hw::lassen(), schemes::Scheme::ProposedTuned, wl);
+    cfg.tuned_threshold = threshold;
+    cfg.n_ops = 32;
+    return runBulkExchange(cfg).meanLatencyUs();
+  };
+  const double under = run(16 * 1024);
+  const double sweet = run(512 * 1024);
+  const double over = run(64 * 1024 * 1024);
+  EXPECT_LT(sweet, under);
+  EXPECT_LE(sweet, over);
+}
+
+TEST(ExperimentShape, FusionLaunchesFarFewerKernelsThanOpsSubmitted) {
+  auto cfg = baseConfig(hw::lassen(), schemes::Scheme::Proposed,
+                        workloads::specfem3dCm(64));
+  cfg.n_ops = 32;
+  cfg.iterations = 10;
+  const auto result = runBulkExchange(cfg);
+  // 32 packs + 32 unpacks per iteration on rank 0; fusion must batch them.
+  const double ops = 64.0 * (cfg.iterations + cfg.warmup);
+  EXPECT_LT(static_cast<double>(result.fused_kernels), ops / 3.0);
+  EXPECT_EQ(result.fallbacks, 0u);
+}
+
+TEST(ExperimentShape, BreakdownCategoriesConsistent) {
+  auto cfg = baseConfig(hw::lassen(), schemes::Scheme::GpuSync,
+                        workloads::milcZdown(64));
+  const auto result = runBulkExchange(cfg);
+  // GPU-Sync: zero scheduling cost, nonzero launch + sync.
+  EXPECT_EQ(result.breakdown.scheduling, 0u);
+  EXPECT_GT(result.breakdown.launching, 0u);
+  EXPECT_GT(result.breakdown.synchronize, 0u);
+  // pack_unpack (GPU-side kernel time) and synchronize (CPU wait for those
+  // kernels) overlap in wall time, so only each category individually is
+  // bounded by the elapsed time.
+  EXPECT_LE(result.breakdown.launching, result.total_elapsed);
+  EXPECT_LE(result.breakdown.synchronize, result.total_elapsed);
+  EXPECT_LE(result.breakdown.communication, result.total_elapsed);
+}
+
+TEST(ExperimentShape, DeterministicAcrossRuns) {
+  auto cfg = baseConfig(hw::abci(), schemes::Scheme::Proposed,
+                        workloads::nasMgFace(64));
+  cfg.iterations = 5;
+  const auto a = runBulkExchange(cfg);
+  const auto b = runBulkExchange(cfg);
+  EXPECT_EQ(a.latency_us.samples(), b.latency_us.samples());
+}
+
+}  // namespace
+}  // namespace dkf::bench

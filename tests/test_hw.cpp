@@ -1,0 +1,72 @@
+// Machine specs (Table II) and the GPU access-efficiency model.
+#include <gtest/gtest.h>
+
+#include "hw/machines.hpp"
+
+namespace dkf::hw {
+namespace {
+
+TEST(MachineSpecs, LassenMatchesTableII) {
+  const auto m = lassen();
+  EXPECT_EQ(m.node.gpus_per_node, 4u);
+  EXPECT_DOUBLE_EQ(m.node.cpu_gpu.bandwidth.value, 75e9);   // NVLink2
+  EXPECT_DOUBLE_EQ(m.node.gpu_gpu.bandwidth.value, 75e9);
+  EXPECT_DOUBLE_EQ(m.internode.bandwidth.value, 25e9);      // IB EDR
+  EXPECT_TRUE(m.node.gdrcopy.available);
+  EXPECT_EQ(m.node.gpu.sm_count, 80u);  // V100
+}
+
+TEST(MachineSpecs, AbciMatchesTableII) {
+  const auto m = abci();
+  EXPECT_EQ(m.node.gpus_per_node, 4u);
+  EXPECT_LT(m.node.cpu_gpu.bandwidth.value, 16e9);          // PCIe switched
+  EXPECT_DOUBLE_EQ(m.node.gpu_gpu.bandwidth.value, 50e9);   // NVLink2
+  EXPECT_DOUBLE_EQ(m.internode.bandwidth.value, 25e9);
+  EXPECT_FALSE(m.node.gdrcopy.available);
+}
+
+TEST(MachineSpecs, LaunchOverheadNearTenMicroseconds) {
+  // Fig. 1's central constant on every generation.
+  for (const auto& g : {gpuK80(), gpuP100(), gpuV100()}) {
+    EXPECT_GE(g.kernel_launch_overhead, us(9)) << g.name;
+    EXPECT_LE(g.kernel_launch_overhead, us(13)) << g.name;
+  }
+}
+
+TEST(MachineSpecs, GenerationsGetFasterButLaunchDoesNot) {
+  EXPECT_LT(gpuK80().hbm_bandwidth.value, gpuP100().hbm_bandwidth.value);
+  EXPECT_LT(gpuP100().hbm_bandwidth.value, gpuV100().hbm_bandwidth.value);
+  // Launch overhead stays the same order across generations.
+  EXPECT_LT(gpuK80().kernel_launch_overhead,
+            2 * gpuV100().kernel_launch_overhead);
+}
+
+TEST(AccessEfficiency, MonotoneAndClamped) {
+  const auto g = gpuV100();
+  EXPECT_DOUBLE_EQ(g.accessEfficiency(0.0), g.min_efficiency);
+  EXPECT_DOUBLE_EQ(g.accessEfficiency(-5.0), g.min_efficiency);
+  EXPECT_DOUBLE_EQ(g.accessEfficiency(4096.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.accessEfficiency(1u << 20), 1.0);
+  double prev = 0.0;
+  for (double run : {8.0, 64.0, 512.0, 2048.0, 4096.0}) {
+    const double eff = g.accessEfficiency(run);
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+  EXPECT_DOUBLE_EQ(g.accessEfficiency(2048.0), 0.5);
+}
+
+TEST(GpuDirect, BoundByTheSlowerOfNicAndHostLink) {
+  // Lassen: NVLink 75 > IB 25 -> bound by IB.
+  EXPECT_DOUBLE_EQ(lassen().gpuDirectBandwidth().value, 25e9);
+  // ABCI: PCIe 12 < IB 25 -> bound by PCIe.
+  EXPECT_DOUBLE_EQ(abci().gpuDirectBandwidth().value, 12e9);
+}
+
+TEST(TotalBlockSlots, SmTimesResidency) {
+  EXPECT_EQ(gpuV100().totalBlockSlots(), 160u);
+  EXPECT_EQ(gpuK80().totalBlockSlots(), 26u);
+}
+
+}  // namespace
+}  // namespace dkf::hw

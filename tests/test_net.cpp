@@ -1,0 +1,189 @@
+// Network link and fabric: serialization, latency, byte conservation,
+// GPUDirect bandwidth caps, RDMA verbs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "net/fabric.hpp"
+#include "net/link.hpp"
+
+namespace dkf::net {
+namespace {
+
+TEST(Link, LatencyPlusSerialization) {
+  sim::Engine eng;
+  Link link(eng, hw::LinkSpec{"test", us(1), GBps(1)});  // 1 B/ns
+  const TimeNs d = link.transfer(1000);
+  EXPECT_EQ(d, 1000u + us(1));
+  EXPECT_EQ(link.bytesCarried(), 1000u);
+}
+
+TEST(Link, BackToBackTransfersSerialize) {
+  sim::Engine eng;
+  Link link(eng, hw::LinkSpec{"test", us(1), GBps(1)});
+  const TimeNs d1 = link.transfer(1000);
+  const TimeNs d2 = link.transfer(1000);
+  EXPECT_EQ(d2, d1 + 1000u);  // second queues behind the first
+  EXPECT_EQ(link.messagesCarried(), 2u);
+}
+
+TEST(Link, BandwidthOverrideCapsRate) {
+  sim::Engine eng;
+  Link link(eng, hw::LinkSpec{"test", ns(0), GBps(10)});
+  const TimeNs fast = link.transfer(10'000);            // 1 us at 10 B/ns
+  Link link2(eng, hw::LinkSpec{"test", ns(0), GBps(10)});
+  const TimeNs slow = link2.transfer(10'000, GBps(1).bytesPerNs());
+  EXPECT_EQ(fast, 1000u);
+  EXPECT_EQ(slow, 10'000u);
+}
+
+TEST(Link, EarliestStartRespected) {
+  sim::Engine eng;
+  Link link(eng, hw::LinkSpec{"test", ns(0), GBps(1)});
+  const TimeNs d = link.transferAt(us(5), 100);
+  EXPECT_EQ(d, us(5) + 100u);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest()
+      : machine_(hw::lassen()), fabric_(eng_, machine_, 2) {}
+
+  sim::Engine eng_;
+  hw::MachineSpec machine_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, SendDataCopiesPayloadAtDelivery) {
+  std::vector<std::byte> src(4096, std::byte{0xAB});
+  std::vector<std::byte> dst(4096, std::byte{0});
+  bool delivered = false;
+  const TimeNs d = fabric_.sendData(0, 1, gpu::MemSpan::host(src),
+                                    gpu::MemSpan::host(dst),
+                                    [&] { delivered = true; });
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(dst[0], std::byte{0});  // not copied yet
+  eng_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(dst[4095], std::byte{0xAB});
+  EXPECT_GT(d, machine_.internode.latency);
+}
+
+TEST_F(FabricTest, ControlPacketsAreSmallAndFast) {
+  std::vector<std::byte> src(1 << 20, std::byte{1});
+  std::vector<std::byte> dst(1 << 20);
+  const TimeNs data = fabric_.sendData(0, 1, gpu::MemSpan::host(src),
+                                       gpu::MemSpan::host(dst), nullptr);
+  sim::Engine eng2;
+  Fabric fabric2(eng2, machine_, 2);
+  const TimeNs ctrl = fabric2.sendControl(0, 1, nullptr);
+  EXPECT_LT(ctrl, data);
+  eng_.run();
+  eng2.run();
+}
+
+TEST_F(FabricTest, IntraNodeUsesPeerLink) {
+  // Same node: NVLink-2 (75 GB/s) beats IB EDR (25 GB/s) for bulk payloads.
+  std::vector<std::byte> src(16 << 20), dst(16 << 20);
+  const TimeNs intra = fabric_.sendData(0, 0, gpu::MemSpan::host(src),
+                                        gpu::MemSpan::host(dst), nullptr);
+  sim::Engine eng2;
+  Fabric fabric2(eng2, machine_, 2);
+  const TimeNs inter = fabric2.sendData(0, 1, gpu::MemSpan::host(src),
+                                        gpu::MemSpan::host(dst), nullptr);
+  EXPECT_LT(intra, inter);
+  eng_.run();
+  eng2.run();
+}
+
+TEST_F(FabricTest, RdmaReadPullsData) {
+  std::vector<std::byte> src(8192, std::byte{0x3C});
+  std::vector<std::byte> dst(8192);
+  bool done = false;
+  fabric_.rdmaRead(1, 0, gpu::MemSpan::host(src), gpu::MemSpan::host(dst),
+                   [&] { done = true; });
+  eng_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dst[8191], std::byte{0x3C});
+}
+
+TEST_F(FabricTest, RdmaWritePushesData) {
+  std::vector<std::byte> src(8192, std::byte{0x7E});
+  std::vector<std::byte> dst(8192);
+  bool done = false;
+  fabric_.rdmaWrite(0, 1, gpu::MemSpan::host(src), gpu::MemSpan::host(dst),
+                    [&] { done = true; });
+  eng_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dst[0], std::byte{0x7E});
+}
+
+TEST_F(FabricTest, ByteConservation) {
+  std::vector<std::byte> src(1000), dst(1000);
+  fabric_.sendData(0, 1, gpu::MemSpan::host(src), gpu::MemSpan::host(dst),
+                   nullptr);
+  fabric_.sendControl(1, 0, nullptr);
+  eng_.run();
+  EXPECT_EQ(fabric_.totalBytesCarried(), 1000u + 64u);
+  EXPECT_EQ(fabric_.totalMessages(), 2u);
+}
+
+TEST(FabricAbci, GpuDirectCapBindsOnPcie) {
+  // On ABCI the PCIe path (12 GB/s) is slower than IB (25 GB/s): a device-
+  // resident payload must stream slower than a host-resident one.
+  sim::Engine eng;
+  auto machine = hw::abci();
+  Fabric fabric(eng, machine, 2);
+  std::vector<std::byte> host_buf(32 << 20), dst(32 << 20);
+  const TimeNs host_t =
+      fabric.sendData(0, 1, gpu::MemSpan::host(host_buf),
+                      gpu::MemSpan::host(dst), nullptr);
+
+  sim::Engine eng2;
+  Fabric fabric2(eng2, machine, 2);
+  hw::Cluster cluster(eng2, machine, 1);
+  auto dev = cluster.gpu(0).memory().allocate(32 << 20);
+  const TimeNs dev_t = fabric2.sendData(0, 1, dev,
+                                        gpu::MemSpan::host(dst), nullptr);
+  EXPECT_GT(dev_t, host_t);
+  eng.run();
+  eng2.run();
+}
+
+TEST(FabricLassen, GpuDirectCapDoesNotBindOnNvlink) {
+  sim::Engine eng;
+  auto machine = hw::lassen();
+  Fabric fabric(eng, machine, 2);
+  hw::Cluster cluster(eng, machine, 1);
+  std::vector<std::byte> dst(32 << 20);
+  auto dev = cluster.gpu(0).memory().allocate(32 << 20);
+  const TimeNs t0 = eng.now();
+  const TimeNs dev_t =
+      fabric.sendData(0, 1, dev, gpu::MemSpan::host(dst), nullptr);
+
+  sim::Engine eng2;
+  Fabric fabric2(eng2, machine, 2);
+  std::vector<std::byte> host_buf(32 << 20);
+  const TimeNs host_t = fabric2.sendData(0, 1, gpu::MemSpan::host(host_buf),
+                                         gpu::MemSpan::host(dst), nullptr);
+  EXPECT_EQ(dev_t - t0, host_t);  // NVLink (75) never caps IB (25)
+  eng.run();
+  eng2.run();
+}
+
+TEST(Cluster, TopologyAndGlobalIds) {
+  sim::Engine eng;
+  hw::Cluster cluster(eng, hw::lassen(), 2);
+  EXPECT_EQ(cluster.nodeCount(), 2u);
+  EXPECT_EQ(cluster.gpuCount(), 8u);
+  EXPECT_EQ(cluster.gpu(0).id(), 0);
+  EXPECT_EQ(cluster.gpu(5).id(), 5);
+  EXPECT_EQ(cluster.nodeOfGpu(3), 0);
+  EXPECT_EQ(cluster.nodeOfGpu(4), 1);
+  EXPECT_EQ(cluster.node(1).gpuCount(), 4u);
+}
+
+}  // namespace
+}  // namespace dkf::net

@@ -1,0 +1,303 @@
+// Unit tests for the discrete-event engine, coroutine tasks, and sync
+// primitives.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace dkf::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(30, [&] { order.push_back(3); });
+  eng.schedule(10, [&] { order.push_back(1); });
+  eng.schedule(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedSchedulingAdvancesClock) {
+  Engine eng;
+  TimeNs inner_time = 0;
+  eng.schedule(5, [&] {
+    eng.schedule(7, [&] { inner_time = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(inner_time, 12u);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.schedule(10, [] {});
+  eng.run();
+  EXPECT_THROW(eng.scheduleAt(5, [] {}), CheckFailure);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(10, [&] { ++fired; });
+  eng.schedule(20, [&] { ++fired; });
+  eng.runUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 15u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ProcessedEventCount) {
+  Engine eng;
+  for (int i = 0; i < 4; ++i) eng.schedule(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.processedEvents(), 4u);
+}
+
+Task<void> delayTwice(Engine& eng, std::vector<TimeNs>& stamps) {
+  co_await eng.delay(us(1));
+  stamps.push_back(eng.now());
+  co_await eng.delay(us(2));
+  stamps.push_back(eng.now());
+}
+
+TEST(Task, DelaysAdvanceVirtualTime) {
+  Engine eng;
+  std::vector<TimeNs> stamps;
+  eng.spawn(delayTwice(eng, stamps));
+  eng.run();
+  EXPECT_EQ(stamps, (std::vector<TimeNs>{us(1), us(3)}));
+}
+
+Task<int> childValue(Engine& eng) {
+  co_await eng.delay(10);
+  co_return 42;
+}
+
+Task<void> parentAwaits(Engine& eng, int& out) {
+  out = co_await childValue(eng);
+}
+
+TEST(Task, AwaitChildPropagatesValue) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(parentAwaits(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<void> throwsAfterDelay(Engine& eng) {
+  co_await eng.delay(5);
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, SpawnedExceptionSurfacesFromRun) {
+  Engine eng;
+  eng.spawn(throwsAfterDelay(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+Task<void> awaitsThrowingChild(Engine& eng, bool& caught) {
+  try {
+    co_await throwsAfterDelay(eng);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ParentCanCatchChildException) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(awaitsThrowingChild(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> waitOnGate(Engine&, Gate& g, int& hits) {
+  co_await g.wait();
+  ++hits;
+}
+
+TEST(Gate, ReleasesAllWaitersOnce) {
+  Engine eng;
+  Gate gate(eng);
+  int hits = 0;
+  for (int i = 0; i < 3; ++i) eng.spawn(waitOnGate(eng, gate, hits));
+  eng.run();
+  EXPECT_EQ(hits, 0);
+  gate.open();
+  eng.run();
+  EXPECT_EQ(hits, 3);
+  gate.open();  // idempotent
+  eng.run();
+  EXPECT_EQ(hits, 3);
+}
+
+Task<void> waitOpenGate(Engine& eng, int& hits) {
+  Gate g(eng);
+  g.open();
+  co_await g.wait();  // must not suspend forever
+  ++hits;
+}
+
+TEST(Gate, OpenGateDoesNotBlock) {
+  Engine eng;
+  int hits = 0;
+  eng.spawn(waitOpenGate(eng, hits));
+  eng.run();
+  EXPECT_EQ(hits, 1);
+}
+
+Task<void> condWaiter(CondVar& cv, int& wakeups) {
+  co_await cv.wait();
+  ++wakeups;
+  co_await cv.wait();
+  ++wakeups;
+}
+
+TEST(CondVar, NotifyWakesOnlyCurrentWaiters) {
+  Engine eng;
+  CondVar cv(eng);
+  int wakeups = 0;
+  eng.spawn(condWaiter(cv, wakeups));
+  eng.run();
+  EXPECT_EQ(cv.waiterCount(), 1u);
+  cv.notifyAll();
+  eng.run();
+  EXPECT_EQ(wakeups, 1);  // re-waiting, not woken by the first notify
+  cv.notifyAll();
+  eng.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+Task<void> latchWorker(Engine& eng, Latch& l, DurationNs d) {
+  co_await eng.delay(d);
+  l.countDown();
+}
+
+Task<void> latchJoiner(Latch& l, TimeNs& done_at, Engine& eng) {
+  co_await l.wait();
+  done_at = eng.now();
+}
+
+TEST(Latch, ReleasesAtZero) {
+  Engine eng;
+  Latch latch(eng, 3);
+  TimeNs done_at = 0;
+  eng.spawn(latchJoiner(latch, done_at, eng));
+  eng.spawn(latchWorker(eng, latch, 10));
+  eng.spawn(latchWorker(eng, latch, 30));
+  eng.spawn(latchWorker(eng, latch, 20));
+  eng.run();
+  EXPECT_EQ(done_at, 30u);
+  EXPECT_EQ(latch.remaining(), 0u);
+}
+
+TEST(Latch, ZeroCountOpensImmediately) {
+  Engine eng;
+  Latch latch(eng, 0);
+  TimeNs done_at = 99;
+  eng.spawn(latchJoiner(latch, done_at, eng));
+  eng.run();
+  EXPECT_EQ(done_at, 0u);
+}
+
+TEST(PollUntil, PollsAtInterval) {
+  Engine eng;
+  bool flag = false;
+  eng.schedule(us(10), [&] { flag = true; });
+  TimeNs done_at = 0;
+  eng.spawn([](Engine& e, bool& f, TimeNs& done) -> Task<void> {
+    co_await pollUntil(e, [&f] { return f; }, us(3));
+    done = e.now();
+  }(eng, flag, done_at));
+  eng.run();
+  // Polls at 3,6,9,12 us; sees the flag at 12 us.
+  EXPECT_EQ(done_at, us(12));
+}
+
+TEST(Determinism, TwoIdenticalRunsMatch) {
+  auto runOnce = [] {
+    Engine eng;
+    std::vector<TimeNs> stamps;
+    Gate gate(eng);
+    eng.spawn([](Engine& e, Gate& g, std::vector<TimeNs>& s) -> Task<void> {
+      co_await e.delay(7);
+      s.push_back(e.now());
+      g.open();
+    }(eng, gate, stamps));
+    eng.spawn([](Engine& e, Gate& g, std::vector<TimeNs>& s) -> Task<void> {
+      co_await g.wait();
+      co_await e.delay(5);
+      s.push_back(e.now());
+    }(eng, gate, stamps));
+    eng.run();
+    return stamps;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace dkf::sim
+
+namespace dkf::sim {
+namespace {
+
+TEST(EngineStress, HundredThousandRandomEventsRunInOrder) {
+  // Property: regardless of insertion order, execution times are monotone
+  // and every event runs exactly once.
+  Engine eng;
+  dkf::Rng rng(2024);
+  constexpr int kEvents = 100'000;
+  std::size_t executed = 0;
+  TimeNs last = 0;
+  bool monotone = true;
+  for (int i = 0; i < kEvents; ++i) {
+    eng.schedule(rng.below(1'000'000), [&] {
+      ++executed;
+      monotone = monotone && eng.now() >= last;
+      last = eng.now();
+    });
+  }
+  eng.run();
+  EXPECT_EQ(executed, static_cast<std::size_t>(kEvents));
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(eng.processedEvents(), static_cast<std::size_t>(kEvents));
+}
+
+TEST(EngineStress, CascadingSpawnsComplete) {
+  // Tasks that spawn further tasks down a chain must all be reaped.
+  Engine eng;
+  int completed = 0;
+  std::function<Task<void>(int)> makeChain = [&](int depth) -> Task<void> {
+    return [](Engine& e, int d, int& done,
+              std::function<Task<void>(int)>& rec) -> Task<void> {
+      co_await e.delay(10);
+      if (d > 0) e.spawn(rec(d - 1));
+      ++done;
+    }(eng, depth, completed, makeChain);
+  };
+  eng.spawn(makeChain(500));
+  eng.run();
+  EXPECT_EQ(completed, 501);
+  EXPECT_EQ(eng.unfinishedTasks(), 0u);
+}
+
+}  // namespace
+}  // namespace dkf::sim

@@ -1,0 +1,97 @@
+// The model-based threshold predictor (paper future work, §IV-C/VII):
+// analytic properties plus end-to-end validation that the predicted
+// threshold lands within the empirically good region of the Fig. 8 sweep.
+#include <gtest/gtest.h>
+
+#include "bench_util/experiment.hpp"
+#include "core/threshold_model.hpp"
+#include "hw/machines.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dkf::core {
+namespace {
+
+ThresholdModel lassenModel() {
+  const auto m = hw::lassen();
+  return ThresholdModel(m.node.gpu, m.internode.bandwidth);
+}
+
+TEST(ThresholdModel, PackBandwidthTracksAccessEfficiency) {
+  const auto model = lassenModel();
+  EXPECT_LT(model.packBandwidth(8.0), model.packBandwidth(4096.0));
+  EXPECT_DOUBLE_EQ(model.packBandwidth(4096.0),
+                   hw::gpuV100().hbm_bandwidth.bytesPerNs());
+}
+
+TEST(ThresholdModel, KernelTimeMonotoneInBytes) {
+  const auto model = lassenModel();
+  DurationNs prev = 0;
+  for (std::size_t bytes : {1024u, 65536u, 1048576u, 16777216u}) {
+    const auto t = model.kernelTime(bytes, 256.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ThresholdModel, SparseLayoutsNeedSmallerBatches) {
+  // Sparse (4 B runs) packs ~10x slower than dense: the same launch
+  // amortization is reached with ~10x fewer bytes.
+  const auto model = lassenModel();
+  const auto sparse = model.predict(12 * 1024, 4.0);
+  const auto dense = model.predict(12 * 1024, 4096.0);
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(ThresholdModel, RespectsClampBounds) {
+  const auto m = hw::lassen();
+  ThresholdModelParams params;
+  params.min_threshold = 32 * 1024;
+  params.max_threshold = 1024 * 1024;
+  ThresholdModel model(m.node.gpu, m.internode.bandwidth, params);
+  EXPECT_GE(model.predict(64, 4096.0), 32u * 1024);
+  EXPECT_LE(model.predict(64 * 1024 * 1024, 4.0), 1024u * 1024);
+}
+
+TEST(ThresholdModel, QuantizesToWholeOperations) {
+  const auto model = lassenModel();
+  const std::size_t op = 100 * 1000;  // odd op size
+  const auto t = model.predict(op, 64.0);
+  if (t > model.params().min_threshold &&
+      t < model.params().max_threshold) {
+    EXPECT_EQ(t % op, 0u);
+  }
+}
+
+TEST(ThresholdModel, PredictionLandsInEmpiricallyGoodRegion) {
+  // End-to-end: run the Fig. 8 sweep for one workload and check the model's
+  // threshold is within 25% of the best measured latency.
+  const auto wl = workloads::specfem3dCm(64);
+  const auto layout = ddt::flatten(wl.type, 1);
+  const auto m = hw::lassen();
+  ThresholdModel model(m.node.gpu, m.internode.bandwidth);
+  const std::size_t predicted = model.predict(layout);
+
+  auto latencyAt = [&](std::size_t threshold) {
+    bench::ExchangeConfig cfg;
+    cfg.machine = m;
+    cfg.scheme = schemes::Scheme::ProposedTuned;
+    cfg.tuned_threshold = threshold;
+    cfg.workload = wl;
+    cfg.n_ops = 32;
+    cfg.iterations = 10;
+    cfg.warmup = 2;
+    return bench::runBulkExchange(cfg).meanLatencyUs();
+  };
+
+  double best = 1e300;
+  for (std::size_t th : {16u * 1024, 64u * 1024, 256u * 1024, 512u * 1024,
+                         2048u * 1024, 8192u * 1024}) {
+    best = std::min(best, latencyAt(th));
+  }
+  const double at_predicted = latencyAt(predicted);
+  EXPECT_LE(at_predicted, best * 1.25)
+      << "model predicted " << predicted << " bytes";
+}
+
+}  // namespace
+}  // namespace dkf::core

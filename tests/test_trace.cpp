@@ -1,0 +1,129 @@
+// Tracer: track management, span/instant/counter recording, JSON export,
+// and the GPU/fabric integration hooks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/gpu.hpp"
+#include "hw/machines.hpp"
+#include "net/fabric.hpp"
+#include "sim/trace.hpp"
+
+namespace dkf::sim {
+namespace {
+
+TEST(Tracer, DisabledTracerDropsEverything) {
+  Tracer t;
+  EXPECT_FALSE(t.isEnabled());
+  const auto track = t.track("cpu0");
+  t.span(track, "work", 0, 100);
+  t.instant(track, "tick", 50);
+  t.counter("queue", 10, 3.0);
+  EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST(Tracer, EnabledTracerRecords) {
+  auto t = Tracer::enabled();
+  const auto track = t.track("cpu0");
+  t.span(track, "work", 0, 100);
+  t.instant(track, "tick", 50);
+  t.counter("queue", 10, 3.0);
+  EXPECT_EQ(t.eventCount(), 3u);
+}
+
+TEST(Tracer, TrackNamesAreStable) {
+  auto t = Tracer::enabled();
+  const auto a = t.track("alpha");
+  const auto b = t.track("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.track("alpha"), a);  // same name -> same id
+}
+
+TEST(Tracer, BackwardsSpanThrows) {
+  auto t = Tracer::enabled();
+  const auto track = t.track("x");
+  EXPECT_THROW(t.span(track, "bad", 100, 50), CheckFailure);
+}
+
+TEST(Tracer, JsonContainsEventsAndMetadata) {
+  auto t = Tracer::enabled();
+  const auto track = t.track("rank0.cpu");
+  t.span(track, "kernel launch", us(1), us(11), "kernel");
+  t.instant(track, "RTS", us(5));
+  t.counter("pending", us(2), 7.0);
+  std::ostringstream os;
+  t.exportJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("rank0.cpu"), std::string::npos);
+  EXPECT_NE(json.find("kernel launch"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter
+  EXPECT_NE(json.find("\"dur\":10.000"), std::string::npos);
+}
+
+TEST(Tracer, JsonEscapesSpecialCharacters) {
+  auto t = Tracer::enabled();
+  const auto track = t.track("na\"me");
+  t.span(track, "with\\slash", 0, 1);
+  std::ostringstream os;
+  t.exportJson(os);
+  EXPECT_NE(os.str().find("na\\\"me"), std::string::npos);
+  EXPECT_NE(os.str().find("with\\\\slash"), std::string::npos);
+}
+
+TEST(TraceSpan, RaiiHelperRecordsOnce) {
+  auto t = Tracer::enabled();
+  const auto track = t.track("x");
+  TraceSpan span(t, track, "op", 10);
+  span.finish(20);
+  span.finish(30);  // idempotent
+  EXPECT_EQ(t.eventCount(), 1u);
+}
+
+TEST(TraceIntegration, GpuKernelsEmitStreamSpans) {
+  Engine eng;
+  auto machine = hw::lassen();
+  gpu::Gpu gpu(eng, machine.node, 0);
+  auto tracer = Tracer::enabled();
+  gpu.setTracer(&tracer);
+
+  auto layout = std::make_shared<const ddt::Layout>(ddt::flatten(
+      ddt::Datatype::contiguous(4096, ddt::Datatype::byte()), 1));
+  auto src = gpu.memory().allocate(4096);
+  auto dst = gpu.memory().allocate(4096);
+  gpu.launchKernel(0, {gpu::Gpu::Op{gpu::Gpu::Op::Kind::Pack, layout, nullptr,
+                                    src.bytes, dst.bytes, nullptr}});
+  gpu.memcpyAsync(0, dst, src);
+  eng.run();
+  EXPECT_EQ(tracer.eventCount(), 2u);
+  std::ostringstream os;
+  tracer.exportJson(os);
+  EXPECT_NE(os.str().find("gpu0.stream0"), std::string::npos);
+  EXPECT_NE(os.str().find("kernel[1 ops"), std::string::npos);
+  EXPECT_NE(os.str().find("memcpy[4096 B]"), std::string::npos);
+}
+
+TEST(TraceIntegration, FabricTransfersEmitChannelSpans) {
+  Engine eng;
+  auto machine = hw::lassen();
+  net::Fabric fabric(eng, machine, 2);
+  auto tracer = Tracer::enabled();
+  fabric.setTracer(&tracer);
+
+  std::vector<std::byte> src(1024), dst(1024);
+  fabric.sendData(0, 1, gpu::MemSpan::host(src), gpu::MemSpan::host(dst),
+                  nullptr);
+  fabric.sendControl(1, 0, nullptr);
+  eng.run();
+  EXPECT_EQ(tracer.eventCount(), 2u);
+  std::ostringstream os;
+  tracer.exportJson(os);
+  EXPECT_NE(os.str().find("fabric.0->1"), std::string::npos);
+  EXPECT_NE(os.str().find("data[1024 B]"), std::string::npos);
+  EXPECT_NE(os.str().find("ctrl[64 B]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dkf::sim

@@ -1,0 +1,156 @@
+// Workload generators: the paper's sparse/dense classification, scaling
+// behaviour, determinism, and the 3-D halo face geometry.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ddt/layout.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dkf::workloads {
+namespace {
+
+TEST(Specfem3dOc, SparseThousandsOfTinyBlocks) {
+  const auto wl = specfem3dOc(64);
+  EXPECT_TRUE(wl.sparse);
+  const auto layout = ddt::flatten(wl.type, wl.count);
+  EXPECT_GE(layout.blockCount(), 1000u);   // "thousands of small blocks"
+  EXPECT_LE(layout.meanBlock(), 16.0);     // single floats
+  EXPECT_EQ(wl.packedBytes(), 32u * 64u * 4u);
+}
+
+TEST(Specfem3dOc, DeterministicAcrossCalls) {
+  const auto a = ddt::flatten(specfem3dOc(32).type, 1);
+  const auto b = ddt::flatten(specfem3dOc(32).type, 1);
+  EXPECT_EQ(a.segments(), b.segments());
+}
+
+TEST(Specfem3dCm, StructOnIndexedTriplesTheBlocks) {
+  const auto wl = specfem3dCm(64);
+  EXPECT_TRUE(wl.sparse);
+  const auto layout = ddt::flatten(wl.type, 1);
+  const auto field = ddt::flatten(specfem3dOc(32).type, 1);  // 16*64 points
+  // Three field arrays, same boundary list each.
+  EXPECT_GE(layout.blockCount(), 2 * field.blockCount());
+  EXPECT_EQ(wl.packedBytes(), 3u * 16u * 64u * 4u);
+}
+
+TEST(Milc, DenseFewBlocks) {
+  const auto wl = milcZdown(64);
+  EXPECT_FALSE(wl.sparse);
+  const auto layout = ddt::flatten(wl.type, 1);
+  EXPECT_EQ(layout.blockCount(), 64u);          // one run per lattice row
+  EXPECT_EQ(layout.minBlock(), 32u * 48u);      // dim/2 su3 vectors of 48 B
+  EXPECT_EQ(wl.packedBytes(), 64u * 32u * 48u);
+}
+
+TEST(Milc, BlockSizeGrowsWithDim) {
+  const auto small = ddt::flatten(milcZdown(16).type, 1);
+  const auto large = ddt::flatten(milcZdown(128).type, 1);
+  EXPECT_LT(small.meanBlock(), large.meanBlock());
+  EXPECT_EQ(small.blockCount(), 16u);
+  EXPECT_EQ(large.blockCount(), 128u);
+}
+
+TEST(NasMg, VectorFaceOfCubicGrid) {
+  const auto wl = nasMgFace(32);
+  EXPECT_FALSE(wl.sparse);
+  const auto layout = ddt::flatten(wl.type, 1);
+  EXPECT_EQ(layout.blockCount(), 32u);
+  EXPECT_EQ(layout.minBlock(), 32u * 8u);      // a row of doubles
+  EXPECT_EQ(wl.regionBytes(),
+            static_cast<std::size_t>(wl.type->extent()));
+  // The face lives inside the full dim^3 grid.
+  EXPECT_GE(wl.type->extent(), 31u * 32u * 32u * 8u);
+}
+
+TEST(PaperWorkloads, FourInFigureOrder) {
+  const auto wls = paperWorkloads(16);
+  ASSERT_EQ(wls.size(), 4u);
+  EXPECT_EQ(wls[0].name, "specfem3D_oc");
+  EXPECT_EQ(wls[1].name, "specfem3D_cm");
+  EXPECT_EQ(wls[2].name, "MILC");
+  EXPECT_EQ(wls[3].name, "NAS_MG");
+  EXPECT_TRUE(wls[0].sparse && wls[1].sparse);
+  EXPECT_FALSE(wls[2].sparse || wls[3].sparse);
+}
+
+TEST(SparseVsDense, MeanBlockSeparatesClasses) {
+  for (std::size_t dim : {16u, 64u, 128u}) {
+    for (const auto& wl : paperWorkloads(dim)) {
+      const auto layout = ddt::flatten(wl.type, 1);
+      if (wl.sparse) {
+        EXPECT_LT(layout.meanBlock(), 64.0) << wl.name << " dim " << dim;
+      } else {
+        EXPECT_GT(layout.meanBlock(), 100.0) << wl.name << " dim " << dim;
+      }
+    }
+  }
+}
+
+TEST(Halo3d, SixFacesWithCorrectNeighbors) {
+  const auto faces = halo3dFaces(8);
+  ASSERT_EQ(faces.size(), 6u);
+  int axis_count[3] = {0, 0, 0};
+  for (const auto& f : faces) {
+    int nonzero = 0;
+    for (int a = 0; a < 3; ++a) {
+      if (f.neighbor_dx[a] != 0) {
+        ++nonzero;
+        ++axis_count[a];
+        EXPECT_TRUE(f.neighbor_dx[a] == 1 || f.neighbor_dx[a] == -1);
+      }
+    }
+    EXPECT_EQ(nonzero, 1);  // face neighbors only (no edges/corners)
+  }
+  EXPECT_EQ(axis_count[0], 2);
+  EXPECT_EQ(axis_count[1], 2);
+  EXPECT_EQ(axis_count[2], 2);
+}
+
+TEST(Halo3d, FaceTypesCoverExactlyOneShell) {
+  constexpr std::size_t n = 8, g = 1, total = n + 2 * g;
+  const auto faces = halo3dFaces(n, g);
+  for (const auto& f : faces) {
+    const auto send = ddt::flatten(f.send_type, 1);
+    const auto recv = ddt::flatten(f.recv_type, 1);
+    // One ghost-thick slab of the owned region: n*n*g doubles.
+    EXPECT_EQ(send.size(), n * n * g * 8);
+    EXPECT_EQ(recv.size(), n * n * g * 8);
+    // Both live inside the (n+2g)^3 block.
+    EXPECT_LE(static_cast<std::size_t>(send.endOffset()),
+              total * total * total * 8);
+    EXPECT_LE(static_cast<std::size_t>(recv.endOffset()),
+              total * total * total * 8);
+    // Send (owned layer) and recv (ghost layer) must not overlap.
+    EXPECT_NE(send.segments(), recv.segments());
+  }
+}
+
+TEST(Halo3d, OppositeFacesMirror) {
+  constexpr std::size_t n = 6;
+  const auto faces = halo3dFaces(n);
+  // Faces come in (-axis, +axis) pairs: the send layer of one must be the
+  // size of the recv layer of the other.
+  for (std::size_t f = 0; f < faces.size(); f += 2) {
+    const auto send_a = ddt::flatten(faces[f].send_type, 1);
+    const auto recv_b = ddt::flatten(faces[f + 1].recv_type, 1);
+    EXPECT_EQ(send_a.size(), recv_b.size());
+  }
+}
+
+TEST(Halo3d, GhostMustBeSmallerThanBlock) {
+  EXPECT_THROW(halo3dFaces(2, 1), CheckFailure);
+  EXPECT_NO_THROW(halo3dFaces(3, 1));
+}
+
+TEST(RegionBytes, CoversLayoutEnd) {
+  for (const auto& wl : paperWorkloads(32)) {
+    const auto layout = ddt::flatten(wl.type, wl.count);
+    EXPECT_GE(wl.regionBytes(),
+              static_cast<std::size_t>(layout.endOffset()))
+        << wl.name;
+  }
+}
+
+}  // namespace
+}  // namespace dkf::workloads
