@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_launch_overhead.dir/fig01_launch_overhead.cpp.o"
+  "CMakeFiles/fig01_launch_overhead.dir/fig01_launch_overhead.cpp.o.d"
+  "fig01_launch_overhead"
+  "fig01_launch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_launch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

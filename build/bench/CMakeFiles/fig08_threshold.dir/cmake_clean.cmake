@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_threshold.dir/fig08_threshold.cpp.o"
+  "CMakeFiles/fig08_threshold.dir/fig08_threshold.cpp.o.d"
+  "fig08_threshold"
+  "fig08_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bulk_sparse.dir/fig09_bulk_sparse.cpp.o"
+  "CMakeFiles/fig09_bulk_sparse.dir/fig09_bulk_sparse.cpp.o.d"
+  "fig09_bulk_sparse"
+  "fig09_bulk_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bulk_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bulk_dense.dir/fig10_bulk_dense.cpp.o"
+  "CMakeFiles/fig10_bulk_dense.dir/fig10_bulk_dense.cpp.o.d"
+  "fig10_bulk_dense"
+  "fig10_bulk_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bulk_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

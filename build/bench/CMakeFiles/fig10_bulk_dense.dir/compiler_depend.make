@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_bulk_dense.
+# This may be replaced when dependencies are built.

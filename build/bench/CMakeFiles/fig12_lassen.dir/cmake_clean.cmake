@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lassen.dir/fig12_lassen.cpp.o"
+  "CMakeFiles/fig12_lassen.dir/fig12_lassen.cpp.o.d"
+  "fig12_lassen"
+  "fig12_lassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

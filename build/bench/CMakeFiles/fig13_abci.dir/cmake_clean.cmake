@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_abci.dir/fig13_abci.cpp.o"
+  "CMakeFiles/fig13_abci.dir/fig13_abci.cpp.o.d"
+  "fig13_abci"
+  "fig13_abci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_abci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_nodes.dir/scaling_nodes.cpp.o"
+  "CMakeFiles/scaling_nodes.dir/scaling_nodes.cpp.o.d"
+  "scaling_nodes"
+  "scaling_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

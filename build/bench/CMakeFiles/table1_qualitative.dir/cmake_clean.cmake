@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_qualitative.dir/table1_qualitative.cpp.o"
+  "CMakeFiles/table1_qualitative.dir/table1_qualitative.cpp.o.d"
+  "table1_qualitative"
+  "table1_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

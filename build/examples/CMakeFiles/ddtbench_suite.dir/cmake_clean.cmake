@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddtbench_suite.dir/ddtbench_suite.cpp.o"
+  "CMakeFiles/ddtbench_suite.dir/ddtbench_suite.cpp.o.d"
+  "ddtbench_suite"
+  "ddtbench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddtbench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo2d_approaches.dir/halo2d_approaches.cpp.o"
+  "CMakeFiles/halo2d_approaches.dir/halo2d_approaches.cpp.o.d"
+  "halo2d_approaches"
+  "halo2d_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo2d_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

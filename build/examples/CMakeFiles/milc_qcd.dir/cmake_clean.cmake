@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_qcd.dir/milc_qcd.cpp.o"
+  "CMakeFiles/milc_qcd.dir/milc_qcd.cpp.o.d"
+  "milc_qcd"
+  "milc_qcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_qcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

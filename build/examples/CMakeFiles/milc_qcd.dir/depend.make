@@ -1,0 +1,2 @@
+# Empty dependencies file for milc_qcd.
+# This may be replaced when dependencies are built.

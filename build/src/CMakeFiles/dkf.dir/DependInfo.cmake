@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/experiment.cpp" "src/CMakeFiles/dkf.dir/bench_util/experiment.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/bench_util/experiment.cpp.o.d"
+  "/root/repo/src/bench_util/sweeps.cpp" "src/CMakeFiles/dkf.dir/bench_util/sweeps.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/bench_util/sweeps.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/CMakeFiles/dkf.dir/bench_util/table.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/bench_util/table.cpp.o.d"
+  "/root/repo/src/common/check.cpp" "src/CMakeFiles/dkf.dir/common/check.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/common/check.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dkf.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dkf.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/dkf.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/common/units.cpp.o.d"
+  "/root/repo/src/core/request_list.cpp" "src/CMakeFiles/dkf.dir/core/request_list.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/core/request_list.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/dkf.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/threshold_model.cpp" "src/CMakeFiles/dkf.dir/core/threshold_model.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/core/threshold_model.cpp.o.d"
+  "/root/repo/src/ddt/datatype.cpp" "src/CMakeFiles/dkf.dir/ddt/datatype.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/ddt/datatype.cpp.o.d"
+  "/root/repo/src/ddt/layout.cpp" "src/CMakeFiles/dkf.dir/ddt/layout.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/ddt/layout.cpp.o.d"
+  "/root/repo/src/ddt/pack.cpp" "src/CMakeFiles/dkf.dir/ddt/pack.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/ddt/pack.cpp.o.d"
+  "/root/repo/src/gpu/gpu.cpp" "src/CMakeFiles/dkf.dir/gpu/gpu.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/gpu/gpu.cpp.o.d"
+  "/root/repo/src/gpu/memory.cpp" "src/CMakeFiles/dkf.dir/gpu/memory.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/gpu/memory.cpp.o.d"
+  "/root/repo/src/hw/cluster.cpp" "src/CMakeFiles/dkf.dir/hw/cluster.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/hw/cluster.cpp.o.d"
+  "/root/repo/src/hw/machines.cpp" "src/CMakeFiles/dkf.dir/hw/machines.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/hw/machines.cpp.o.d"
+  "/root/repo/src/hw/spec.cpp" "src/CMakeFiles/dkf.dir/hw/spec.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/hw/spec.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/dkf.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/dkf.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/dkf.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/dkf.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/net/link.cpp.o.d"
+  "/root/repo/src/schemes/adaptive_gdr.cpp" "src/CMakeFiles/dkf.dir/schemes/adaptive_gdr.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/adaptive_gdr.cpp.o.d"
+  "/root/repo/src/schemes/cpu_gpu_hybrid.cpp" "src/CMakeFiles/dkf.dir/schemes/cpu_gpu_hybrid.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/cpu_gpu_hybrid.cpp.o.d"
+  "/root/repo/src/schemes/ddt_engine.cpp" "src/CMakeFiles/dkf.dir/schemes/ddt_engine.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/ddt_engine.cpp.o.d"
+  "/root/repo/src/schemes/factory.cpp" "src/CMakeFiles/dkf.dir/schemes/factory.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/factory.cpp.o.d"
+  "/root/repo/src/schemes/fusion_engine.cpp" "src/CMakeFiles/dkf.dir/schemes/fusion_engine.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/fusion_engine.cpp.o.d"
+  "/root/repo/src/schemes/gpu_async.cpp" "src/CMakeFiles/dkf.dir/schemes/gpu_async.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/gpu_async.cpp.o.d"
+  "/root/repo/src/schemes/gpu_sync.cpp" "src/CMakeFiles/dkf.dir/schemes/gpu_sync.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/gpu_sync.cpp.o.d"
+  "/root/repo/src/schemes/hybrid_fusion.cpp" "src/CMakeFiles/dkf.dir/schemes/hybrid_fusion.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/hybrid_fusion.cpp.o.d"
+  "/root/repo/src/schemes/naive_copy.cpp" "src/CMakeFiles/dkf.dir/schemes/naive_copy.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/schemes/naive_copy.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dkf.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/dkf.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/sim/sync.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/dkf.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/workloads/halo_exchanger.cpp" "src/CMakeFiles/dkf.dir/workloads/halo_exchanger.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/workloads/halo_exchanger.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/dkf.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/dkf.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

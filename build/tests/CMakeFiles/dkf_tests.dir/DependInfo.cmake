@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_util.cpp" "tests/CMakeFiles/dkf_tests.dir/test_bench_util.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_bench_util.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/dkf_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dkf_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_fusion.cpp" "tests/CMakeFiles/dkf_tests.dir/test_core_fusion.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_core_fusion.cpp.o.d"
+  "/root/repo/tests/test_cpu_timeline.cpp" "tests/CMakeFiles/dkf_tests.dir/test_cpu_timeline.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_cpu_timeline.cpp.o.d"
+  "/root/repo/tests/test_ddt_datatype.cpp" "tests/CMakeFiles/dkf_tests.dir/test_ddt_datatype.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_ddt_datatype.cpp.o.d"
+  "/root/repo/tests/test_ddt_pack.cpp" "tests/CMakeFiles/dkf_tests.dir/test_ddt_pack.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_ddt_pack.cpp.o.d"
+  "/root/repo/tests/test_ddt_properties.cpp" "tests/CMakeFiles/dkf_tests.dir/test_ddt_properties.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_ddt_properties.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/dkf_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_gpu_device.cpp" "tests/CMakeFiles/dkf_tests.dir/test_gpu_device.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_gpu_device.cpp.o.d"
+  "/root/repo/tests/test_gpu_memory.cpp" "tests/CMakeFiles/dkf_tests.dir/test_gpu_memory.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_gpu_memory.cpp.o.d"
+  "/root/repo/tests/test_halo_exchanger.cpp" "tests/CMakeFiles/dkf_tests.dir/test_halo_exchanger.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_halo_exchanger.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/dkf_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/dkf_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_mpi_fuzz.cpp" "tests/CMakeFiles/dkf_tests.dir/test_mpi_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_mpi_fuzz.cpp.o.d"
+  "/root/repo/tests/test_mpi_protocols.cpp" "tests/CMakeFiles/dkf_tests.dir/test_mpi_protocols.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_mpi_protocols.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/dkf_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_persistent.cpp" "tests/CMakeFiles/dkf_tests.dir/test_persistent.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_persistent.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/dkf_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/dkf_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_threshold_model.cpp" "tests/CMakeFiles/dkf_tests.dir/test_threshold_model.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_threshold_model.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dkf_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/dkf_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/dkf_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dkf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
