@@ -3,7 +3,22 @@
 // message." Enqueues batches of pack requests through the fusion scheduler
 // and reports scheduling + query cost per message, plus launch amortization
 // (launch overhead per message as batches grow).
+//
+// Second part: a request-list capacity sweep (64 ... 8192) measuring HOST
+// wall-clock per enqueue+query. The request list is the simulator's own hot
+// path — the seed implementation scanned O(capacity) on enqueue, claim and
+// query, so host time per message grew linearly with list capacity and
+// dominated bulk-transfer runs (Figs. 9-10 regime). With the O(1)
+// structures it must stay roughly flat. The sweep emits a JSON record
+// (wall-clock + virtual-time per message) to BENCH_scheduler.json (or the
+// path given as argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util/table.hpp"
@@ -11,7 +26,85 @@
 #include "core/scheduler.hpp"
 #include "hw/machines.hpp"
 
-int main() {
+namespace {
+
+struct SweepRow {
+  std::size_t capacity;
+  std::size_t messages;
+  double wall_ns_per_msg;       // host time per enqueue+flush+query cycle
+  double virt_sched_ns_per_msg; // modeled scheduling+query time per message
+  std::size_t fused_kernels;
+};
+
+/// One capacity point: fill the list, flush, retire everything — repeated
+/// until ~`total_messages` messages have passed through. Returns host and
+/// virtual per-message costs.
+SweepRow runCapacityPoint(std::size_t capacity, std::size_t total_messages) {
+  using namespace dkf;
+  sim::Engine eng;
+  auto machine = hw::lassen();
+  sim::CpuTimeline cpu(eng);
+  gpu::Gpu gpu(eng, machine.node, 0);
+  core::FusionPolicy policy;
+  policy.threshold_bytes = 1u << 30;  // flush-driven batching
+  policy.max_requests_per_kernel = 256;
+  policy.list_capacity = capacity;
+  core::FusionScheduler sched(eng, cpu, gpu, policy);
+
+  auto layout = std::make_shared<const ddt::Layout>(ddt::flatten(
+      ddt::Datatype::contiguous(4096, ddt::Datatype::byte()), 1));
+  auto src = gpu.memory().allocate(4096);
+  auto dst = gpu.memory().allocate(4096);
+
+  const std::size_t rounds = std::max<std::size_t>(1, total_messages / capacity);
+  eng.spawn([](sim::Engine& e, core::FusionScheduler& s, std::size_t cap,
+               std::size_t rnds, ddt::LayoutPtr l, gpu::MemSpan a,
+               gpu::MemSpan d) -> sim::Task<void> {
+    std::vector<std::int64_t> uids;
+    uids.reserve(cap);
+    for (std::size_t round = 0; round < rnds; ++round) {
+      uids.clear();
+      // Fill the list to capacity: every enqueue lands in an ever-fuller
+      // ring, the worst case for the seed's tail/claim/query scans.
+      for (std::size_t i = 0; i < cap; ++i) {
+        core::FusionRequest req;
+        req.op = core::FusionOp::Packing;
+        req.layout = l;
+        req.origin = a;
+        req.target = d;
+        const auto uid = co_await s.enqueue(std::move(req));
+        DKF_CHECK(uid >= 0);
+        uids.push_back(uid);
+      }
+      co_await s.flush();
+      for (const auto uid : uids) {
+        while (!s.query(uid)) {
+          co_await e.delay(us(1));  // progress-engine poll period
+        }
+      }
+    }
+  }(eng, sched, capacity, rounds, layout, src, dst));
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  eng.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const double msgs = static_cast<double>(rounds * capacity);
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_begin)
+          .count());
+  return SweepRow{
+      capacity, rounds * capacity, wall_ns / msgs,
+      static_cast<double>(sched.breakdown().scheduling +
+                          sched.breakdown().synchronize) /
+          msgs,
+      sched.fusedKernelsLaunched()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dkf;
   bench::banner(std::cout,
                 "Micro — Fusion scheduler overhead per message (§V-B claim: "
@@ -74,5 +167,53 @@ int main() {
   std::cout << "\nShape: scheduling cost flat (~1 us enqueue + query), "
                "launch overhead per message shrinks ~1/batch as fusion "
                "amortizes the single 9.5 us launch.\n";
+
+  // ---- Request-list capacity sweep (host wall-clock scaling) ----
+  bench::banner(std::cout,
+                "Micro — Request-list capacity sweep (host wall-clock per "
+                "enqueue+query must stay ~flat in capacity)");
+
+  constexpr std::size_t kTotalMessages = 32768;
+  std::vector<SweepRow> sweep;
+  bench::Table sweep_table({"Capacity", "Messages", "Wall ns/msg",
+                            "Virtual sched ns/msg", "Fused kernels"});
+  for (const std::size_t capacity :
+       {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    // Warm-up pass absorbs first-touch allocation noise, measured pass counts.
+    (void)runCapacityPoint(capacity, capacity);
+    sweep.push_back(runCapacityPoint(capacity, kTotalMessages));
+    const SweepRow& r = sweep.back();
+    char wall[32], virt[32];
+    std::snprintf(wall, sizeof wall, "%.1f", r.wall_ns_per_msg);
+    std::snprintf(virt, sizeof virt, "%.1f", r.virt_sched_ns_per_msg);
+    sweep_table.addRow({std::to_string(r.capacity), std::to_string(r.messages),
+                        wall, virt, std::to_string(r.fused_kernels)});
+  }
+  sweep_table.print(std::cout);
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_scheduler.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"micro_scheduler_capacity_sweep\",\n"
+       << "  \"claim\": \"wall-clock per enqueue+flush+query stays ~flat in "
+          "request-list capacity (seed was linear: O(capacity) scans on "
+          "enqueue, claim and query)\",\n"
+       << "  \"messages_per_point\": " << kTotalMessages << ",\n"
+       << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    json << "    {\"capacity\": " << r.capacity
+         << ", \"messages\": " << r.messages << ", \"wall_ns_per_msg\": "
+         << r.wall_ns_per_msg << ", \"virtual_scheduling_ns_per_msg\": "
+         << r.virt_sched_ns_per_msg << ", \"fused_kernels\": "
+         << r.fused_kernels << "}" << (i + 1 < sweep.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\ncapacity-sweep record written to " << json_path << "\n";
   return 0;
 }

@@ -33,6 +33,11 @@ int main(int argc, char** argv) {
   mpi::RuntimeConfig config;
   config.scheme = schemes::Scheme::Proposed;
   mpi::Runtime runtime(cluster, config);
+  // Scheduler-level observability: enqueues/rejections as instants, fused
+  // batches as spans, pending backlog as counter graphs.
+  for (int r = 0; r < runtime.worldSize(); ++r) {
+    runtime.proc(r).ddtEngine().setTracer(&tracer);
+  }
 
   const auto wl = workloads::specfem3dCm(64);
   const std::size_t region = wl.regionBytes();

@@ -9,13 +9,47 @@ FusionScheduler::FusionScheduler(sim::Engine& eng, sim::CpuTimeline& cpu,
       gpu_(&gpu),
       policy_(policy),
       list_(policy.list_capacity),
-      stream_(gpu.createStream()) {}
+      stream_(gpu.createStream()) {
+  counters_.batch_size_hist.resize(policy_.max_requests_per_kernel + 1, 0);
+}
+
+void FusionScheduler::setTracer(sim::Tracer* tracer, const std::string& name) {
+  tracer_ = tracer;
+  trace_name_ = name;
+  if (tracer_ && tracer_->isEnabled()) {
+    trace_track_ = tracer_->track(name + ".sched");
+  }
+}
+
+void FusionScheduler::traceBacklog() {
+  if (!tracer_ || !tracer_->isEnabled()) return;
+  tracer_->counter(trace_name_ + ".pending_bytes", eng_->now(),
+                   static_cast<double>(list_.pendingBytes()));
+  tracer_->counter(trace_name_ + ".pending_requests", eng_->now(),
+                   static_cast<double>(list_.pendingCount()));
+}
 
 sim::Task<std::int64_t> FusionScheduler::enqueue(FusionRequest req) {
   co_await cpu_->busy(policy_.enqueue_cost);
-  breakdown_.scheduling += policy_.enqueue_cost;
   const std::int64_t uid = list_.tryEnqueue(std::move(req));
-  if (uid < 0) co_return uid;  // full: caller falls back (§IV-A2 ①)
+  if (uid < 0) {
+    // Full list: the caller re-runs this operation on its fallback path,
+    // which accounts for it there — book the wasted attempt separately so
+    // Fig. 11 breakdowns don't count the message twice.
+    rejected_scheduling_ += policy_.enqueue_cost;
+    ++counters_.rejections;
+    if (tracer_ && tracer_->isEnabled()) {
+      tracer_->instant(trace_track_, "reject", eng_->now(), "fusion");
+    }
+    co_return uid;  // caller falls back (§IV-A2 ①)
+  }
+  breakdown_.scheduling += policy_.enqueue_cost;
+  ++counters_.enqueues;
+  if (tracer_ && tracer_->isEnabled()) {
+    tracer_->instant(trace_track_, "enqueue uid=" + std::to_string(uid),
+                     eng_->now(), "fusion");
+    traceBacklog();
+  }
 
   if (list_.pendingBytes() >= policy_.threshold_bytes ||
       list_.pendingCount() >= policy_.max_requests_per_kernel) {
@@ -37,8 +71,10 @@ sim::Task<void> FusionScheduler::launchBatch() {
 
   std::vector<gpu::Gpu::Op> ops;
   ops.reserve(batch.size());
+  std::size_t batch_bytes = 0;
   for (const std::size_t slot_index : batch) {
     FusionRequest& r = list_.slot(slot_index);
+    batch_bytes += r.bytes();
     gpu::Gpu::Op op;
     switch (r.op) {
       case FusionOp::Packing:
@@ -67,6 +103,8 @@ sim::Task<void> FusionScheduler::launchBatch() {
     ops.push_back(std::move(op));
   }
 
+  const TimeNs launch_begin = eng_->now();
+
   // ONE kernel launch overhead for the whole batch — the point of fusion.
   co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
   breakdown_.launching += gpu_->spec().kernel_launch_overhead;
@@ -75,6 +113,15 @@ sim::Task<void> FusionScheduler::launchBatch() {
   breakdown_.pack_unpack += handle.end - handle.start;
   ++kernels_;
   requests_fused_ += batch.size();
+  ++counters_.batches;
+  ++counters_.batch_size_hist[batch.size()];
+  if (tracer_ && tracer_->isEnabled()) {
+    tracer_->span(trace_track_,
+                  "fused[" + std::to_string(batch.size()) + " reqs, " +
+                      std::to_string(batch_bytes) + " B]",
+                  launch_begin, handle.end, "fusion");
+    traceBacklog();
+  }
 }
 
 bool FusionScheduler::query(std::int64_t uid) {

@@ -20,9 +20,16 @@
 // high — communication is delayed past the overlap window) are both real
 // failure modes; 512 KB is the paper's sweet spot on both machines, and
 // Fig. 8 is reproduced by sweeping FusionPolicy::threshold_bytes.
+//
+// The scheduler is observable: attach a sim::Tracer (setTracer) and every
+// enqueue/rejection becomes an instant, every fused batch a span, and the
+// pending backlog a counter series in the Chrome trace output; the
+// SchedulerCounters aggregate (enqueues, rejections, batches, batch-size
+// histogram) is always maintained, tracer or not.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -30,6 +37,7 @@
 #include "gpu/gpu.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 
 namespace dkf::core {
 
@@ -48,6 +56,16 @@ struct FusionPolicy {
   DurationNs query_cost{ns(150)};
 };
 
+/// Lifetime counters of the scheduler's hot path. The batch-size histogram
+/// is exact: bucket i counts fused kernels that carried i requests
+/// (i <= max_requests_per_kernel by construction).
+struct SchedulerCounters {
+  std::size_t enqueues{0};
+  std::size_t rejections{0};
+  std::size_t batches{0};
+  std::vector<std::size_t> batch_size_hist;
+};
+
 class FusionScheduler {
  public:
   FusionScheduler(sim::Engine& eng, sim::CpuTimeline& cpu, gpu::Gpu& gpu,
@@ -55,6 +73,10 @@ class FusionScheduler {
 
   const FusionPolicy& policy() const { return policy_; }
   RequestList& requests() { return list_; }
+
+  /// Attach a tracer; scheduler activity is emitted on tracks named
+  /// "<name>.sched". Pass nullptr to detach.
+  void setTracer(sim::Tracer* tracer, const std::string& name = "fusion");
 
   /// ① Enqueue an operation; returns its UID or a negative value when the
   /// request list is full. Charges the enqueue CPU cost and, if the fusion
@@ -74,6 +96,15 @@ class FusionScheduler {
   /// Time-breakdown contributions of the scheduler + its fused kernels.
   TimeBreakdown& breakdown() { return breakdown_; }
 
+  /// CPU time spent on enqueue attempts that were REJECTED (full list).
+  /// Kept out of breakdown_.scheduling: the rejected operation re-runs on
+  /// the caller's fallback path, which does its own Fig. 11 accounting, so
+  /// folding this in would double-count the message (the Fig. 11 bars sum
+  /// per-category over exactly the work each message's winning path did).
+  DurationNs rejectedSchedulingCost() const { return rejected_scheduling_; }
+
+  const SchedulerCounters& counters() const { return counters_; }
+
   std::size_t fusedKernelsLaunched() const { return kernels_; }
   std::size_t requestsFused() const { return requests_fused_; }
   /// Mean batch size over all fused kernels so far.
@@ -86,6 +117,7 @@ class FusionScheduler {
  private:
   /// ② Claim the pending batch and launch one fused kernel for it.
   sim::Task<void> launchBatch();
+  void traceBacklog();
 
   sim::Engine* eng_;
   sim::CpuTimeline* cpu_;
@@ -94,8 +126,13 @@ class FusionScheduler {
   RequestList list_;
   gpu::Gpu::StreamId stream_;
   TimeBreakdown breakdown_;
+  DurationNs rejected_scheduling_{0};
+  SchedulerCounters counters_;
   std::size_t kernels_{0};
   std::size_t requests_fused_{0};
+  sim::Tracer* tracer_{nullptr};
+  std::string trace_name_;
+  std::uint32_t trace_track_{0};
 };
 
 }  // namespace dkf::core

@@ -1,5 +1,7 @@
 #include "schemes/adaptive_gdr.hpp"
 
+#include <string>
+
 namespace dkf::schemes {
 
 namespace {
@@ -17,12 +19,30 @@ CpuGpuHybridEngine::Tuning productionTuning() {
 
 AdaptiveGdrEngine::AdaptiveGdrEngine(sim::Engine& eng, sim::CpuTimeline& cpu,
                                      gpu::Gpu& gpu)
-    : inner_(eng, cpu, gpu, productionTuning()) {}
+    : eng_(&eng), inner_(eng, cpu, gpu, productionTuning()) {}
+
+void AdaptiveGdrEngine::setTracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ && tracer_->isEnabled()) {
+    track_ = tracer_->track("MVAPICH2-GDR");
+  }
+}
+
+void AdaptiveGdrEngine::traceRoute(const ddt::Layout& layout,
+                                   const char* what) {
+  if (!tracer_ || !tracer_->isEnabled()) return;
+  const char* route = inner_.usesCpuPath(layout) ? "gdrcopy" : "gpu-sync";
+  tracer_->instant(track_,
+                   std::string(route) + " " + what + "[" +
+                       std::to_string(layout.size()) + " B]",
+                   eng_->now(), "adaptive");
+}
 
 sim::Task<Ticket> AdaptiveGdrEngine::submitPack(ddt::LayoutPtr layout,
                                                 gpu::MemSpan origin,
                                                 gpu::MemSpan packed) {
   ++submissions_;
+  traceRoute(*layout, "pack");
   Ticket t = co_await inner_.submitPack(std::move(layout), origin, packed);
   breakdown_ += inner_.breakdown();
   inner_.breakdown().reset();
@@ -33,6 +53,7 @@ sim::Task<Ticket> AdaptiveGdrEngine::submitUnpack(ddt::LayoutPtr layout,
                                                   gpu::MemSpan packed,
                                                   gpu::MemSpan origin) {
   ++submissions_;
+  traceRoute(*layout, "unpack");
   Ticket t = co_await inner_.submitUnpack(std::move(layout), packed, origin);
   breakdown_ += inner_.breakdown();
   inner_.breakdown().reset();

@@ -16,6 +16,10 @@ class AdaptiveGdrEngine final : public DdtEngine {
 
   std::string_view name() const override { return "MVAPICH2-GDR"; }
 
+  /// Per-op adaptive routing decisions (GDRCopy vs. GPU-Sync kernel) are
+  /// emitted as instants on an "MVAPICH2-GDR" track.
+  void setTracer(sim::Tracer* tracer) override;
+
   sim::Task<Ticket> submitPack(ddt::LayoutPtr layout, gpu::MemSpan origin,
                                gpu::MemSpan packed) override;
   sim::Task<Ticket> submitUnpack(ddt::LayoutPtr layout, gpu::MemSpan packed,
@@ -24,7 +28,12 @@ class AdaptiveGdrEngine final : public DdtEngine {
   sim::Task<void> progress() override;
 
  private:
+  void traceRoute(const ddt::Layout& layout, const char* what);
+
+  sim::Engine* eng_;
   CpuGpuHybridEngine inner_;
+  sim::Tracer* tracer_{nullptr};
+  std::uint32_t track_{0};
 };
 
 }  // namespace dkf::schemes

@@ -24,6 +24,7 @@
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace dkf::schemes {
 
@@ -40,6 +41,13 @@ class DdtEngine {
   virtual ~DdtEngine() = default;
 
   virtual std::string_view name() const = 0;
+
+  /// Attach a tracer for Chrome-trace observability (nullptr detaches).
+  /// Engines with internal machinery (the fusion scheduler, the hybrid
+  /// router) emit their decisions on tracks named after the scheme; the
+  /// default is a no-op for engines whose only activity is already traced
+  /// at the GPU/fabric layer.
+  virtual void setTracer(sim::Tracer*) {}
 
   /// Gather layout bytes of `origin` into contiguous `packed`.
   virtual sim::Task<Ticket> submitPack(ddt::LayoutPtr layout,

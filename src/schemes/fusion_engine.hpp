@@ -28,6 +28,12 @@ class FusionEngine final : public DdtEngine {
 
   std::string_view name() const override { return display_name_; }
 
+  /// Scheduler activity (enqueues, rejections, fused batches, backlog)
+  /// appears on "<display name>.sched" tracks.
+  void setTracer(sim::Tracer* tracer) override {
+    scheduler_.setTracer(tracer, display_name_);
+  }
+
   sim::Task<Ticket> submitPack(ddt::LayoutPtr layout, gpu::MemSpan origin,
                                gpu::MemSpan packed) override;
   sim::Task<Ticket> submitUnpack(ddt::LayoutPtr layout, gpu::MemSpan packed,

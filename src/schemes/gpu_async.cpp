@@ -58,6 +58,12 @@ sim::Task<Ticket> GpuAsyncEngine::submitUnpack(ddt::LayoutPtr layout,
 }
 
 bool GpuAsyncEngine::done(const Ticket& t) {
+  if (!t.valid()) return false;
+  // Issued ids are [0, next_id_); anything else was never submitted here
+  // and "done" would be a phantom completion, not an already-retired one.
+  DKF_CHECK_MSG(t.id < next_id_,
+                "done() for ticket " << t.id << " never issued (issued ids "
+                                     << "are [0, " << next_id_ << "))");
   auto it = events_.find(t.id);
   if (it == events_.end()) return true;  // already retired
   // Every completion check is a cudaEventQuery driver call; its CPU time

@@ -26,6 +26,10 @@ class HybridFusionEngine final : public DdtEngine {
 
   std::string_view name() const override { return "Proposed+Hybrid"; }
 
+  /// Fusion-path activity lands on "Proposed+Hybrid.sched" tracks; CPU-path
+  /// routing decisions are emitted as instants on "Proposed+Hybrid.cpu".
+  void setTracer(sim::Tracer* tracer) override;
+
   sim::Task<Ticket> submitPack(ddt::LayoutPtr layout, gpu::MemSpan origin,
                                gpu::MemSpan packed) override;
   sim::Task<Ticket> submitUnpack(ddt::LayoutPtr layout, gpu::MemSpan packed,
@@ -41,13 +45,23 @@ class HybridFusionEngine final : public DdtEngine {
   std::size_t cpuPathOps() const { return cpu_path_.cpuPathOps(); }
   std::size_t fusedOps() const { return fusion_path_.submissions(); }
 
- private:
-  /// Tickets from the CPU path are offset into a disjoint id range so
-  /// done() can route queries without extra bookkeeping.
-  static constexpr std::int64_t kCpuBase = std::int64_t{1} << 61;
+  /// CPU-path tickets carry this tag bit; the two id spaces are disjoint
+  /// BY CONSTRUCTION, not by magnitude: fusion-path ids (request-list UIDs
+  /// and the fallback range at 2^62) never set bit 61, which done() checks,
+  /// so a long run can never alias a fusion ticket into the CPU space the
+  /// way a plain `id >= base` comparison eventually would.
+  static constexpr std::int64_t kCpuTag = std::int64_t{1} << 61;
 
+ private:
+  /// Tag a CPU-path ticket / assert a fusion-path ticket stays untagged.
+  static Ticket tagCpu(Ticket t);
+  static Ticket checkedFusion(Ticket t);
+
+  sim::Engine* eng_;
   CpuGpuHybridEngine cpu_path_;
   FusionEngine fusion_path_;
+  sim::Tracer* tracer_{nullptr};
+  std::uint32_t cpu_track_{0};
 };
 
 }  // namespace dkf::schemes

@@ -88,8 +88,81 @@ TEST(RequestList, CompletionAndRetirementRecycleSlots) {
   EXPECT_GE(c, 0);
   list.signalCompletion(batch[1]);
   EXPECT_TRUE(list.queryAndRetire(b));
-  EXPECT_TRUE(list.queryAndRetire(b));  // unknown uid => already retired
+  EXPECT_TRUE(list.queryAndRetire(b));  // re-query of a retired uid: true
   list.checkInvariants();
+}
+
+TEST(RequestList, QueryOfNeverIssuedUidThrows) {
+  // "Unknown" is NOT "already retired": polling a uid that tryEnqueue never
+  // returned is a caller bug and must fail loudly instead of reporting a
+  // phantom completion.
+  RequestList list(2);
+  auto layout = bytesLayout(16);
+  EXPECT_THROW(list.queryAndRetire(0), CheckFailure);   // nothing enqueued
+  EXPECT_THROW(list.queryAndRetire(-1), CheckFailure);  // rejection sentinel
+  const auto a = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  EXPECT_EQ(a, 0);
+  EXPECT_FALSE(list.queryAndRetire(a));                // live, in flight
+  EXPECT_THROW(list.queryAndRetire(1), CheckFailure);  // not issued yet
+  list.checkInvariants();
+}
+
+TEST(RequestList, RejectedEnqueueUidNeverPhantomCompletes) {
+  // Regression: a caller that fell back on rejection but kept polling the
+  // -1 sentinel used to see `true` ("already retired") from the seed
+  // implementation — a phantom completion for work that never ran here.
+  RequestList list(1);
+  auto layout = bytesLayout(16);
+  EXPECT_GE(list.tryEnqueue(makeReq(FusionOp::Packing, layout)), 0);
+  const auto rejected = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  ASSERT_LT(rejected, 0);
+  EXPECT_THROW(list.queryAndRetire(rejected), CheckFailure);
+}
+
+TEST(RequestList, LowestLiveUidAdvancesPastOutOfOrderRetirement) {
+  RequestList list(4);
+  list.setAudit(true);
+  auto layout = bytesLayout(16);
+  std::int64_t uid[3];
+  for (auto& u : uid) u = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  auto batch = list.claimPendingBatch(8);
+  for (auto s : batch) list.signalCompletion(s);
+  EXPECT_EQ(list.lowestLiveUid(), 0);
+  EXPECT_TRUE(list.queryAndRetire(uid[1]));  // out of order
+  EXPECT_EQ(list.lowestLiveUid(), 0);        // uid 0 still live
+  EXPECT_TRUE(list.queryAndRetire(uid[0]));
+  EXPECT_EQ(list.lowestLiveUid(), 2);        // window skips retired uid 1
+  EXPECT_TRUE(list.queryAndRetire(uid[1]));  // below the window: retired
+  EXPECT_TRUE(list.queryAndRetire(uid[2]));
+  EXPECT_EQ(list.lowestLiveUid(), list.nextUid());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(RequestList, UidWindowSurvivesStragglerAcrossManyWraparounds) {
+  // One request held Busy forever pins the uid window open while hundreds
+  // of later uids cycle through — the window ring must grow (preserving
+  // every live mapping) instead of aliasing.
+  RequestList list(4);
+  list.setAudit(true);
+  auto layout = bytesLayout(16);
+  const auto straggler = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+  const auto straggler_slot = list.claimPendingBatch(1);
+  ASSERT_EQ(straggler_slot.size(), 1u);
+
+  for (int i = 0; i < 300; ++i) {
+    const auto u = list.tryEnqueue(makeReq(FusionOp::Packing, layout));
+    ASSERT_GE(u, 0);
+    const auto b = list.claimPendingBatch(8);
+    ASSERT_EQ(b.size(), 1u);
+    list.signalCompletion(b[0]);
+    EXPECT_FALSE(list.queryAndRetire(straggler));  // still busy
+    EXPECT_TRUE(list.queryAndRetire(u));
+    EXPECT_EQ(list.lowestLiveUid(), straggler);
+  }
+  list.signalCompletion(straggler_slot[0]);
+  EXPECT_TRUE(list.queryAndRetire(straggler));
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.lowestLiveUid(), list.nextUid());
 }
 
 TEST(RequestList, SignalOnNonBusySlotThrows) {
@@ -136,9 +209,18 @@ TEST(RequestListProperty, RandomizedLifecycleKeepsInvariants) {
         busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(pick));
         break;
       }
-      default: {  // query something random
-        const auto uid = static_cast<std::int64_t>(rng.below(200));
-        (void)list.queryAndRetire(uid);
+      default: {  // query a random issued uid (unknown uids throw)
+        if (list.nextUid() == 0) {
+          EXPECT_THROW(list.queryAndRetire(0), CheckFailure);
+          break;
+        }
+        const auto uid = static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(list.nextUid())));
+        const bool retired = list.queryAndRetire(uid);
+        if (uid < list.lowestLiveUid()) {
+          EXPECT_TRUE(retired);
+        }
+        EXPECT_THROW(list.queryAndRetire(list.nextUid()), CheckFailure);
         break;
       }
     }
@@ -262,6 +344,62 @@ TEST_F(SchedulerTest, SchedulerOverheadWithinTwoMicrosecondsPerMessage) {
                           sched.breakdown().synchronize) /
       kMessages;
   EXPECT_LE(per_message, 2000.0);  // <= 2 us
+}
+
+TEST_F(SchedulerTest, RejectedEnqueueChargedSeparatelyFromScheduling) {
+  // Regression: the seed charged enqueue_cost to breakdown_.scheduling even
+  // for rejected enqueues, so Fig. 11-style breakdowns double-counted the
+  // message (the fallback path accounts for its own work).
+  FusionPolicy policy;
+  policy.list_capacity = 1;
+  policy.threshold_bytes = 1u << 30;  // never launch -> list stays full
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    EXPECT_GE(co_await s.enqueue(t.packReq(1024)), 0);
+    EXPECT_LT(co_await s.enqueue(t.packReq(1024)), 0);  // full: rejected
+  }(sched, *this));
+  eng_.run();
+  EXPECT_EQ(sched.breakdown().scheduling, sched.policy().enqueue_cost);
+  EXPECT_EQ(sched.rejectedSchedulingCost(), sched.policy().enqueue_cost);
+  EXPECT_EQ(sched.counters().enqueues, 1u);
+  EXPECT_EQ(sched.counters().rejections, 1u);
+  EXPECT_EQ(sched.requests().totalRejected(), 1u);
+}
+
+TEST_F(SchedulerTest, CountersTrackBatchesAndSizeHistogram) {
+  FusionPolicy policy;
+  policy.threshold_bytes = 1u << 30;  // batch by count / flush only
+  policy.max_requests_per_kernel = 4;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    for (int i = 0; i < 6; ++i) co_await s.enqueue(t.packReq(512));
+    co_await s.flush();  // 4 (count cap) + 2 (flush remainder)
+  }(sched, *this));
+  eng_.run();
+  EXPECT_EQ(sched.counters().enqueues, 6u);
+  EXPECT_EQ(sched.counters().rejections, 0u);
+  EXPECT_EQ(sched.counters().batches, 2u);
+  ASSERT_EQ(sched.counters().batch_size_hist.size(),
+            sched.policy().max_requests_per_kernel + 1);
+  EXPECT_EQ(sched.counters().batch_size_hist[4], 1u);
+  EXPECT_EQ(sched.counters().batch_size_hist[2], 1u);
+}
+
+TEST_F(SchedulerTest, TracerRecordsEnqueuesBatchesAndBacklog) {
+  auto tracer = sim::Tracer::enabled();
+  FusionPolicy policy;
+  policy.list_capacity = 1;
+  policy.threshold_bytes = 1u << 30;
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  sched.setTracer(&tracer, "Proposed");
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t) -> sim::Task<void> {
+    co_await s.enqueue(t.packReq(1024));
+    co_await s.enqueue(t.packReq(1024));  // rejected -> "reject" instant
+    co_await s.flush();                   // -> "fused[...]" span
+  }(sched, *this));
+  eng_.run();
+  // 1 enqueue instant + 1 reject instant + 1 batch span + backlog counters.
+  EXPECT_GE(tracer.eventCount(), 4u);
 }
 
 TEST_F(SchedulerTest, MaxRequestCapSplitsBatches) {

@@ -1,0 +1,152 @@
+// Randomized differential fuzz for core::RequestList (§IV-A1).
+//
+// Drives the real structure against a naive shadow model through long
+// interleavings of tryEnqueue / claimPendingBatch / signalCompletion /
+// queryAndRetire with out-of-order retirement across many ring
+// wraparounds. The list's own checkInvariants() oracle runs after every
+// mutating step (setAudit), auditing the O(1) structures — free list <->
+// Idle slots, pending ring <-> Pending slots in uid order, uid window <->
+// occupied slots — against a full scan; the shadow model independently
+// checks the externally visible contract (uid assignment, claim order,
+// retired-vs-live query results, unknown-uid rejection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/request_list.hpp"
+#include "ddt/datatype.hpp"
+
+namespace dkf::core {
+namespace {
+
+enum class Phase { Pending, Busy, Completed, Retired };
+
+class RequestListFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RequestListFuzz, MatchesShadowModelThroughRandomInterleavings) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.below(24);
+  RequestList list(capacity);
+  list.setAudit(true);  // full invariant audit after every mutating step
+  auto layout = std::make_shared<const ddt::Layout>(ddt::flatten(
+      ddt::Datatype::contiguous(1 + rng.below(512), ddt::Datatype::byte()),
+      1));
+
+  std::map<std::int64_t, Phase> phase;       // every uid ever issued
+  std::map<std::int64_t, std::size_t> slot;  // uid -> slot while Busy
+  std::int64_t issued = 0;
+
+  const auto makeReq = [&] {
+    FusionRequest req;
+    req.op = FusionOp::Packing;
+    req.layout = layout;
+    return req;
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.below(8)) {
+      case 0:
+      case 1:
+      case 2: {  // enqueue (weighted to drive wraparound)
+        const bool was_full = list.full();
+        const auto uid = list.tryEnqueue(makeReq());
+        if (was_full) {
+          EXPECT_LT(uid, 0);
+        } else {
+          ASSERT_EQ(uid, issued);  // monotonic, gapless
+          phase[uid] = Phase::Pending;
+          ++issued;
+        }
+        break;
+      }
+      case 3:
+      case 4: {  // claim a batch: the n oldest pending uids, in uid order
+        std::vector<std::int64_t> expect;
+        for (const auto& [uid, p] : phase) {
+          if (p == Phase::Pending) expect.push_back(uid);
+        }
+        const std::size_t want = 1 + rng.below(capacity);
+        if (expect.size() > want) expect.resize(want);
+        const auto batch = list.claimPendingBatch(want);
+        ASSERT_EQ(batch.size(), expect.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const FusionRequest& r = list.slot(batch[i]);
+          EXPECT_EQ(r.uid, expect[i]);
+          EXPECT_EQ(r.request_status, Status::Busy);
+          phase[r.uid] = Phase::Busy;
+          slot[r.uid] = batch[i];
+        }
+        break;
+      }
+      case 5: {  // complete a random busy request (out of claim order)
+        if (slot.empty()) break;
+        auto it = slot.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng.below(slot.size())));
+        list.signalCompletion(it->second);
+        phase[it->first] = Phase::Completed;
+        slot.erase(it);
+        break;
+      }
+      case 6: {  // query a random issued uid; result must match the model
+        if (issued == 0) break;
+        const auto uid = static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(issued)));
+        const bool retired = list.queryAndRetire(uid);
+        switch (phase[uid]) {
+          case Phase::Pending:
+          case Phase::Busy:
+            EXPECT_FALSE(retired);
+            break;
+          case Phase::Completed:  // retires as a side effect
+            EXPECT_TRUE(retired);
+            phase[uid] = Phase::Retired;
+            break;
+          case Phase::Retired:  // stays retired, never "unknown"
+            EXPECT_TRUE(retired);
+            break;
+        }
+        break;
+      }
+      default: {  // unknown uids must throw, not report phantom completion
+        EXPECT_THROW(list.queryAndRetire(issued), CheckFailure);
+        EXPECT_THROW(list.queryAndRetire(-1), CheckFailure);
+        break;
+      }
+    }
+  }
+
+  // Drain: claim, complete, and retire everything still in flight.
+  for (const auto s : list.claimPendingBatch(capacity)) {
+    const FusionRequest& r = list.slot(s);
+    phase[r.uid] = Phase::Busy;
+    slot[r.uid] = s;
+  }
+  while (!slot.empty()) {
+    auto it = slot.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng.below(slot.size())));
+    list.signalCompletion(it->second);
+    phase[it->first] = Phase::Completed;
+    slot.erase(it);
+  }
+  for (const auto& [uid, p] : phase) {
+    if (p == Phase::Completed) {
+      EXPECT_TRUE(list.queryAndRetire(uid));
+    }
+  }
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.lowestLiveUid(), list.nextUid());
+  EXPECT_EQ(list.totalEnqueued(), static_cast<std::size_t>(issued));
+  EXPECT_EQ(list.totalRetired(), static_cast<std::size_t>(issued));
+  list.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RequestListFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace dkf::core

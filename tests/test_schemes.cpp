@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "ddt/pack.hpp"
 #include "hw/machines.hpp"
@@ -237,6 +238,29 @@ TEST_F(SchemeFixture, HybridWithoutGdrcopyAlwaysUsesGpu) {
 
 // ---- NaiveCopy specifics ----
 
+TEST_F(SchemeFixture, GpuAsyncUnknownTicketThrowsInsteadOfPhantomDone) {
+  // Regression: done() on a ticket this engine never issued used to return
+  // true ("already retired") — the same unknown-vs-retired confusion as the
+  // request list's rejected-uid bug.
+  GpuAsyncEngine engine(eng_, cpu_, gpu_);
+  EXPECT_FALSE(engine.done(Ticket{-1}));              // invalid: not done
+  EXPECT_THROW(engine.done(Ticket{0}), CheckFailure);  // never issued
+
+  auto layout = makeLayout(8, 32, 64);
+  auto origin = filled(static_cast<std::size_t>(layout->endOffset()), 5);
+  auto packed = gpu_.memory().allocate(layout->size());
+  Ticket t;
+  eng_.spawn([](GpuAsyncEngine& e, ddt::LayoutPtr l, gpu::MemSpan o,
+                gpu::MemSpan p, Ticket& out) -> sim::Task<void> {
+    out = co_await e.submitPack(std::move(l), o, p);
+  }(engine, layout, origin, packed, t));
+  eng_.run();
+  ASSERT_TRUE(t.valid());
+  completeTicket(engine, t);
+  EXPECT_TRUE(engine.done(t));  // retired: stays done
+  EXPECT_THROW(engine.done(Ticket{t.id + 1}), CheckFailure);
+}
+
 TEST_F(SchemeFixture, NaiveCopyIssuesOneCopyPerBlock) {
   NaiveCopyEngine engine(eng_, cpu_, gpu_);
   auto layout = makeLayout(300, 8, 24);
@@ -300,7 +324,9 @@ TEST_F(SchemeFixture, FusionFallsBackWhenListFull) {
       auto p = f.gpu_.memory().allocate(l->size());
       auto t = co_await e.submitPack(l, o, p);
       EXPECT_TRUE(t.valid());
-      if (i >= 2) EXPECT_TRUE(e.done(t));  // fallback ops are synchronous
+      if (i >= 2) {
+        EXPECT_TRUE(e.done(t));  // fallback ops are synchronous
+      }
     }
   }(*this, engine, layout));
   eng_.run();
@@ -420,6 +446,65 @@ TEST_F(SchemeFixture, HybridFusionRoutesBySparsity) {
   std::vector<std::byte> e2(sparse->size());
   ddt::packCpu(*sparse, o2.bytes, e2);
   EXPECT_EQ(std::memcmp(p2.bytes.data(), e2.data(), e2.size()), 0);
+}
+
+TEST_F(SchemeFixture, HybridFusionTicketSpacesAreStructurallyDisjoint) {
+  // Regression: done() used to classify ANY ticket with id >= 2^61 as a
+  // CPU-path ticket, so a fusion uid (or the fusion engine's fallback ids
+  // at 2^62) growing into that range silently reported unfinished fusion
+  // requests as done. The spaces are now partitioned by a tag bit.
+  HybridFusionEngine engine(eng_, cpu_, gpu_);
+
+  auto dense_small = makeLayout(4, 512, 1024);  // CPU path
+  auto sparse = makeLayout(2048, 4, 16);        // fusion path
+  auto o1 = filled(static_cast<std::size_t>(dense_small->endOffset()), 50);
+  auto p1 = gpu_.memory().allocate(dense_small->size());
+  auto o2 = filled(static_cast<std::size_t>(sparse->endOffset()), 51);
+  auto p2 = gpu_.memory().allocate(sparse->size());
+
+  Ticket cpu_ticket, fusion_ticket;
+  eng_.spawn([](HybridFusionEngine& e, ddt::LayoutPtr a, gpu::MemSpan ao,
+                gpu::MemSpan ap, ddt::LayoutPtr b, gpu::MemSpan bo,
+                gpu::MemSpan bp, Ticket& ct, Ticket& ft) -> sim::Task<void> {
+    ct = co_await e.submitPack(a, ao, ap);
+    ft = co_await e.submitPack(b, bo, bp);
+    co_await e.flush();
+  }(engine, dense_small, o1, p1, sparse, o2, p2, cpu_ticket, fusion_ticket));
+  eng_.run();
+
+  ASSERT_TRUE(cpu_ticket.valid());
+  ASSERT_TRUE(fusion_ticket.valid());
+  EXPECT_NE(cpu_ticket.id & HybridFusionEngine::kCpuTag, 0);   // tagged
+  EXPECT_EQ(fusion_ticket.id & HybridFusionEngine::kCpuTag, 0);  // untagged
+  EXPECT_TRUE(engine.done(cpu_ticket));
+  completeTicket(engine, fusion_ticket);
+  EXPECT_TRUE(engine.done(fusion_ticket));
+}
+
+TEST_F(SchemeFixture, HybridFusionFallbackTicketsStayOutOfCpuTagSpace) {
+  // Fusion-path fallback ids live at 2^62; bit 61 stays clear, so done()
+  // must route them to the fusion path (which knows they are synchronous),
+  // not misclassify them as CPU tickets.
+  core::FusionPolicy policy;
+  policy.list_capacity = 1;
+  policy.threshold_bytes = 1u << 30;  // never launch -> list fills
+  HybridFusionEngine engine(eng_, cpu_, gpu_, policy);
+  auto sparse = makeLayout(2048, 4, 16);  // fusion-path layout
+
+  eng_.spawn([](SchemeFixture& f, HybridFusionEngine& e,
+                ddt::LayoutPtr l) -> sim::Task<void> {
+    auto o1 = f.filled(static_cast<std::size_t>(l->endOffset()), 60);
+    auto p1 = f.gpu_.memory().allocate(l->size());
+    Ticket queued = co_await e.submitPack(l, o1, p1);  // fills the list
+    auto o2 = f.filled(static_cast<std::size_t>(l->endOffset()), 61);
+    auto p2 = f.gpu_.memory().allocate(l->size());
+    Ticket fallback = co_await e.submitPack(l, o2, p2);  // synchronous
+    EXPECT_EQ(fallback.id & HybridFusionEngine::kCpuTag, 0);
+    EXPECT_TRUE(e.done(fallback));
+    EXPECT_FALSE(e.done(queued));
+    co_await e.flush();
+  }(*this, engine, sparse));
+  eng_.run();
 }
 
 }  // namespace
