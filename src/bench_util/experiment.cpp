@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -87,6 +88,14 @@ ExchangeResult runBulkExchange(const ExchangeConfig& cfg) {
   // intra-node case) so arenas for unused GPUs are never allocated.
   machine.node.gpus_per_node = cfg.intra_node ? 2 : 1;
   hw::Cluster cluster(eng, machine, cfg.intra_node ? 1 : 2);
+
+  std::optional<fault::FaultPlan> plan;
+  if (cfg.inject_faults) {
+    plan.emplace(eng, cfg.faults);
+    cluster.setFaultPlan(&*plan);
+  }
+  if (cfg.watchdog > 0) eng.setWatchdog(cfg.watchdog);
+
   mpi::RuntimeConfig rt_cfg;
   rt_cfg.scheme = cfg.scheme;
   rt_cfg.tuned_threshold = cfg.tuned_threshold;
@@ -94,6 +103,7 @@ ExchangeResult runBulkExchange(const ExchangeConfig& cfg) {
   rt_cfg.tuned_max_requests = cfg.max_requests_per_kernel;
   rt_cfg.enable_direct_ipc = cfg.enable_direct_ipc;
   rt_cfg.rendezvous = cfg.rendezvous;
+  rt_cfg.reliability = cfg.reliability;
   mpi::Runtime rt(cluster, rt_cfg);
 
   const int rank_a = 0;
@@ -140,6 +150,15 @@ ExchangeResult runBulkExchange(const ExchangeConfig& cfg) {
     result.fused_kernels = fe->scheduler().fusedKernelsLaunched();
     result.fallbacks = fe->fallbacks();
   }
+  if (plan) result.fault_counters = plan->counters();
+  for (const mpi::Proc* p : procs) {
+    result.transport.retransmissions += p->transport().retransmissions;
+    result.transport.acks_sent += p->transport().acks_sent;
+    result.transport.duplicates_ignored += p->transport().duplicates_ignored;
+    result.transport.host_staging_fallbacks +=
+        p->transport().host_staging_fallbacks;
+  }
+  result.end_time = eng.now();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "fault/fault_plan.hpp"
 #include "hw/spec.hpp"
 #include "mpi/runtime.hpp"
 #include "schemes/factory.hpp"
@@ -34,6 +35,12 @@ struct ExchangeConfig {
   bool intra_node{false};  ///< place both ranks on one node (DirectIPC)
   bool bidirectional{true};  ///< halo exchange (both directions at once)
   mpi::Protocol rendezvous{mpi::Protocol::RGet};
+
+  // ---- Fault injection (off by default: identical to the seed harness) --
+  bool inject_faults{false};      ///< attach `faults` as a FaultPlan
+  fault::FaultSpec faults{};      ///< what to inject (when enabled)
+  mpi::ReliabilityConfig reliability{};  ///< retransmission layer
+  DurationNs watchdog{0};  ///< >0: trip the sim watchdog past this deadline
 };
 
 struct ExchangeResult {
@@ -42,6 +49,13 @@ struct ExchangeResult {
   DurationNs total_elapsed{0};  ///< timed virtual time on rank 0
   std::size_t fused_kernels{0};
   std::size_t fallbacks{0};
+
+  /// Injected faults that actually fired (zeroes without a FaultPlan).
+  fault::FaultCounters fault_counters{};
+  /// Reliable-transport work summed over both ranks.
+  mpi::TransportCounters transport{};
+  /// Final virtual time of the whole run (determinism/replay checks).
+  TimeNs end_time{0};
 
   double meanLatencyUs() const { return latency_us.mean(); }
   /// Residual "observed communication" time per Fig. 11: elapsed minus the

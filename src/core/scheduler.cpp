@@ -1,5 +1,9 @@
 #include "core/scheduler.hpp"
 
+#include <cmath>
+
+#include "ddt/pack.hpp"
+
 namespace dkf::core {
 
 FusionScheduler::FusionScheduler(sim::Engine& eng, sim::CpuTimeline& cpu,
@@ -69,47 +73,71 @@ sim::Task<void> FusionScheduler::launchBatch() {
       list_.claimPendingBatch(policy_.max_requests_per_kernel);
   if (batch.empty()) co_return;
 
-  std::vector<gpu::Gpu::Op> ops;
-  ops.reserve(batch.size());
   std::size_t batch_bytes = 0;
   for (const std::size_t slot_index : batch) {
-    FusionRequest& r = list_.slot(slot_index);
-    batch_bytes += r.bytes();
-    gpu::Gpu::Op op;
-    switch (r.op) {
-      case FusionOp::Packing:
-        op.kind = gpu::Gpu::Op::Kind::Pack;
-        op.layout = r.layout;
-        op.src = r.origin.bytes;
-        op.dst = r.target.bytes;
-        break;
-      case FusionOp::Unpacking:
-        op.kind = gpu::Gpu::Op::Kind::Unpack;
-        op.layout = r.layout;
-        op.src = r.origin.bytes;
-        op.dst = r.target.bytes;
-        break;
-      case FusionOp::DirectIPC:
-        op.kind = gpu::Gpu::Op::Kind::StridedCopy;
-        op.layout = r.layout;
-        op.dst_layout = r.target_layout;
-        op.src = r.origin.bytes;
-        op.dst = r.target.bytes;
-        break;
-    }
-    // ③: the GPU thread block signals the response status directly.
-    RequestList* list = &list_;
-    op.on_complete = [list, slot_index] { list->signalCompletion(slot_index); };
-    ops.push_back(std::move(op));
+    batch_bytes += list_.slot(slot_index).bytes();
   }
+
+  // Ops are rebuilt per attempt: launchKernel consumes its vector, and an
+  // injected launch failure queues nothing.
+  const auto build_ops = [this, &batch] {
+    std::vector<gpu::Gpu::Op> ops;
+    ops.reserve(batch.size());
+    for (const std::size_t slot_index : batch) {
+      FusionRequest& r = list_.slot(slot_index);
+      gpu::Gpu::Op op;
+      switch (r.op) {
+        case FusionOp::Packing:
+          op.kind = gpu::Gpu::Op::Kind::Pack;
+          op.layout = r.layout;
+          op.src = r.origin.bytes;
+          op.dst = r.target.bytes;
+          break;
+        case FusionOp::Unpacking:
+          op.kind = gpu::Gpu::Op::Kind::Unpack;
+          op.layout = r.layout;
+          op.src = r.origin.bytes;
+          op.dst = r.target.bytes;
+          break;
+        case FusionOp::DirectIPC:
+          op.kind = gpu::Gpu::Op::Kind::StridedCopy;
+          op.layout = r.layout;
+          op.dst_layout = r.target_layout;
+          op.src = r.origin.bytes;
+          op.dst = r.target.bytes;
+          break;
+      }
+      // ③: the GPU thread block signals the response status directly.
+      RequestList* list = &list_;
+      op.on_complete = [list, slot_index] {
+        list->signalCompletion(slot_index);
+      };
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  };
 
   const TimeNs launch_begin = eng_->now();
 
-  // ONE kernel launch overhead for the whole batch — the point of fusion.
-  co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
-  breakdown_.launching += gpu_->spec().kernel_launch_overhead;
-
-  const auto handle = gpu_->launchKernel(stream_, std::move(ops));
+  gpu::Gpu::KernelHandle handle;
+  for (std::size_t attempt = 0;; ++attempt) {
+    // ONE kernel launch overhead for the whole batch — the point of fusion.
+    co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
+    breakdown_.launching += gpu_->spec().kernel_launch_overhead;
+    handle = gpu_->launchKernel(stream_, build_ops());
+    if (!handle.failed) break;
+    ++counters_.launch_failures;
+    if (tracer_ && tracer_->isEnabled()) {
+      tracer_->instant(trace_track_,
+                       "launch_failed attempt=" + std::to_string(attempt + 1),
+                       eng_->now(), "fault");
+    }
+    if (attempt + 1 >= policy_.max_launch_attempts) {
+      co_await runBatchOnCpu(batch, batch_bytes);
+      co_return;
+    }
+    co_await eng_->delay(policy_.launch_retry_backoff << attempt);
+  }
   breakdown_.pack_unpack += handle.end - handle.start;
   ++kernels_;
   requests_fused_ += batch.size();
@@ -120,6 +148,46 @@ sim::Task<void> FusionScheduler::launchBatch() {
                   "fused[" + std::to_string(batch.size()) + " reqs, " +
                       std::to_string(batch_bytes) + " B]",
                   launch_begin, handle.end, "fusion");
+    traceBacklog();
+  }
+}
+
+sim::Task<void> FusionScheduler::runBatchOnCpu(
+    const std::vector<std::size_t>& batch, std::size_t batch_bytes) {
+  // The device refused this batch repeatedly: keep the requests alive by
+  // doing their data movement on the host at CPU pack speed. Slower than
+  // any fused kernel, but every request still completes and retires
+  // through the normal query path.
+  const TimeNs begin = eng_->now();
+  const auto cost = static_cast<DurationNs>(std::ceil(
+      static_cast<double>(batch_bytes) / policy_.cpu_fallback_bytes_per_ns));
+  co_await cpu_->busy(cost);
+  breakdown_.pack_unpack += cost;
+  for (const std::size_t slot_index : batch) {
+    FusionRequest& r = list_.slot(slot_index);
+    switch (r.op) {
+      case FusionOp::Packing:
+        ddt::packCpu(*r.layout, r.origin.bytes, r.target.bytes);
+        break;
+      case FusionOp::Unpacking:
+        ddt::unpackCpu(*r.layout, r.origin.bytes, r.target.bytes);
+        break;
+      case FusionOp::DirectIPC:
+        ddt::copyStrided(*r.layout, r.origin.bytes, *r.target_layout,
+                         r.target.bytes);
+        break;
+    }
+    list_.signalCompletion(slot_index);
+    ++counters_.cpu_fallback_requests;
+  }
+  ++counters_.cpu_fallback_batches;
+  ++counters_.batches;
+  ++counters_.batch_size_hist[batch.size()];
+  if (tracer_ && tracer_->isEnabled()) {
+    tracer_->span(trace_track_,
+                  "cpu_fallback[" + std::to_string(batch.size()) + " reqs, " +
+                      std::to_string(batch_bytes) + " B]",
+                  begin, eng_->now(), "fault");
     traceBacklog();
   }
 }

@@ -54,6 +54,14 @@ struct FusionPolicy {
   DurationNs enqueue_cost{ns(1000)};
   /// CPU cost of one UID status query (request vs. response comparison).
   DurationNs query_cost{ns(150)};
+
+  // ---- Fault tolerance (only exercised with a FaultPlan attached) ----
+  /// Total launch tries per batch before degrading to the CPU pack path.
+  std::size_t max_launch_attempts{4};
+  /// Wait before re-attempting a failed launch; doubles per failure.
+  DurationNs launch_retry_backoff{us(2)};
+  /// Host-side streaming rate (bytes/ns) of the degraded CPU pack path.
+  double cpu_fallback_bytes_per_ns{4.0};
 };
 
 /// Lifetime counters of the scheduler's hot path. The batch-size histogram
@@ -63,6 +71,11 @@ struct SchedulerCounters {
   std::size_t enqueues{0};
   std::size_t rejections{0};
   std::size_t batches{0};
+  /// Injected kernel-launch failures observed (each costs one retry).
+  std::size_t launch_failures{0};
+  /// Batches that exhausted their launch retries and ran on the CPU.
+  std::size_t cpu_fallback_batches{0};
+  std::size_t cpu_fallback_requests{0};
   std::vector<std::size_t> batch_size_hist;
 };
 
@@ -116,7 +129,14 @@ class FusionScheduler {
 
  private:
   /// ② Claim the pending batch and launch one fused kernel for it.
+  /// Injected launch failures are retried with exponential backoff up to
+  /// FusionPolicy::max_launch_attempts; after that the batch degrades to
+  /// the CPU pack path (graceful degradation, never a lost request).
   sim::Task<void> launchBatch();
+  /// Degraded path: run the batch's data movement on the host and signal
+  /// each request's completion.
+  sim::Task<void> runBatchOnCpu(const std::vector<std::size_t>& batch,
+                                std::size_t batch_bytes);
   void traceBacklog();
 
   sim::Engine* eng_;

@@ -1,0 +1,116 @@
+#include "fault/fault_plan.hpp"
+
+namespace dkf::fault {
+
+namespace {
+/// Log cap: long lossy benches keep counters exact but stop appending to
+/// the replay log once it would dominate memory.
+constexpr std::size_t kMaxLogEntries = 1u << 16;
+
+/// Per-category seed derivation (SplitMix-style odd constants) so streams
+/// are decorrelated and adding one fault category never perturbs another.
+std::uint64_t sub(std::uint64_t seed, std::uint64_t salt) {
+  return seed ^ (salt * 0x9e3779b97f4a7c15ull);
+}
+}  // namespace
+
+const char* faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::DataDrop: return "data_drop";
+    case FaultKind::ControlDrop: return "control_drop";
+    case FaultKind::NicStall: return "nic_stall";
+    case FaultKind::LinkDegraded: return "link_degraded";
+    case FaultKind::LaunchFailure: return "launch_failure";
+    case FaultKind::AllocFailure: return "alloc_failure";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(sim::Engine& eng, FaultSpec spec)
+    : eng_(&eng),
+      spec_(std::move(spec)),
+      data_rng_(sub(spec_.seed, 1)),
+      control_rng_(sub(spec_.seed, 2)),
+      stall_rng_(sub(spec_.seed, 3)),
+      launch_rng_(sub(spec_.seed, 4)),
+      alloc_rng_(sub(spec_.seed, 5)) {}
+
+void FaultPlan::setTracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ && tracer_->isEnabled()) track_ = tracer_->track("faults");
+}
+
+void FaultPlan::record(FaultKind kind) {
+  if (log_.size() < kMaxLogEntries) log_.push_back({eng_->now(), kind});
+  if (tracer_ && tracer_->isEnabled()) {
+    tracer_->instant(track_, faultKindName(kind), eng_->now(), "fault");
+  }
+}
+
+bool FaultPlan::dropData() {
+  if (spec_.data_loss <= 0 || counters_.data_drops >= spec_.max_data_drops ||
+      !data_rng_.chance(spec_.data_loss)) {
+    return false;
+  }
+  ++counters_.data_drops;
+  record(FaultKind::DataDrop);
+  return true;
+}
+
+bool FaultPlan::dropControl() {
+  if (spec_.control_loss <= 0 ||
+      counters_.control_drops >= spec_.max_control_drops ||
+      !control_rng_.chance(spec_.control_loss)) {
+    return false;
+  }
+  ++counters_.control_drops;
+  record(FaultKind::ControlDrop);
+  return true;
+}
+
+DurationNs FaultPlan::nicStallDelay() {
+  if (spec_.nic_stall_prob <= 0 || !stall_rng_.chance(spec_.nic_stall_prob)) {
+    return 0;
+  }
+  ++counters_.nic_stalls;
+  record(FaultKind::NicStall);
+  return spec_.nic_stall;
+}
+
+bool FaultPlan::failLaunch() {
+  if (spec_.launch_failure <= 0 ||
+      counters_.launch_failures >= spec_.max_launch_failures ||
+      !launch_rng_.chance(spec_.launch_failure)) {
+    return false;
+  }
+  ++counters_.launch_failures;
+  record(FaultKind::LaunchFailure);
+  return true;
+}
+
+bool FaultPlan::failAlloc() {
+  if (spec_.alloc_failure <= 0 ||
+      counters_.alloc_failures >= spec_.max_alloc_failures ||
+      !alloc_rng_.chance(spec_.alloc_failure)) {
+    return false;
+  }
+  ++counters_.alloc_failures;
+  record(FaultKind::AllocFailure);
+  return true;
+}
+
+double FaultPlan::linkScaleAt(TimeNs t) const {
+  double scale = 1.0;
+  // Overlapping windows compound (a flap inside a degradation window).
+  for (const LinkFaultWindow& w : spec_.link_windows) {
+    if (t >= w.begin && t < w.end) scale *= w.bandwidth_scale;
+  }
+  return scale;
+}
+
+void FaultPlan::noteDegraded() {
+  ++counters_.degraded_transfers;
+  record(FaultKind::LinkDegraded);
+}
+
+}  // namespace dkf::fault

@@ -1,0 +1,150 @@
+// Deterministic fault injection (the robustness axis of the ROADMAP).
+//
+// A FaultPlan is a seeded, virtual-time schedule of failures: dropped data
+// and control packets, NIC send stalls, link-degradation windows (bandwidth
+// scaled down, or 0 = link down / flap), kernel-launch failures, and
+// device-arena allocation failures. Components consult the plan at the
+// moment they would act (Fabric before scheduling a delivery, Gpu before
+// queueing a kernel, DeviceMemory inside tryAllocate), so the draw order is
+// fixed by the single-threaded event engine and every injected fault
+// sequence is bit-reproducible from the seed.
+//
+// Each fault category draws from its own xoshiro256** stream, so e.g.
+// adding a launch-failure rate does not perturb which packets get dropped.
+// Every injected fault is counted, appended to a bounded replay log
+// (timestamp + kind), and optionally emitted as a Chrome-trace instant on a
+// "faults" track.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace dkf::fault {
+
+enum class FaultKind : std::uint8_t {
+  DataDrop,      ///< data/eager/RDMA payload lost after the wire
+  ControlDrop,   ///< RTS/CTS/FIN/ACK packet lost
+  NicStall,      ///< NIC pauses before putting the message on the wire
+  LinkDegraded,  ///< transfer ran inside a degradation window
+  LaunchFailure, ///< kernel launch returned an error
+  AllocFailure,  ///< device-arena allocation refused
+};
+
+const char* faultKindName(FaultKind k);
+
+/// A virtual-time window during which every transfer's streaming bandwidth
+/// is scaled by `bandwidth_scale`; 0 means the link is down (transfers in
+/// the window are dropped outright). Several windows model flapping links.
+struct LinkFaultWindow {
+  TimeNs begin{0};
+  TimeNs end{0};
+  double bandwidth_scale{1.0};
+};
+
+struct FaultSpec {
+  std::uint64_t seed{0x5EEDull};
+
+  /// Per-message Bernoulli drop probabilities.
+  double data_loss{0.0};
+  double control_loss{0.0};
+  /// Stop dropping after this many losses (makes targeted "drop the first
+  /// N packets, then heal" tests deterministic and convergent).
+  std::size_t max_data_drops{SIZE_MAX};
+  std::size_t max_control_drops{SIZE_MAX};
+
+  /// Probability that the NIC stalls a send, and for how long.
+  double nic_stall_prob{0.0};
+  DurationNs nic_stall{us(20)};
+
+  /// Probability a kernel launch fails (capped at max_launch_failures).
+  double launch_failure{0.0};
+  std::size_t max_launch_failures{SIZE_MAX};
+
+  /// Probability a device staging allocation is refused (capped).
+  double alloc_failure{0.0};
+  std::size_t max_alloc_failures{SIZE_MAX};
+
+  std::vector<LinkFaultWindow> link_windows;
+
+  bool any() const {
+    return data_loss > 0 || control_loss > 0 || nic_stall_prob > 0 ||
+           launch_failure > 0 || alloc_failure > 0 || !link_windows.empty();
+  }
+};
+
+struct FaultCounters {
+  std::size_t data_drops{0};
+  std::size_t control_drops{0};
+  std::size_t nic_stalls{0};
+  std::size_t degraded_transfers{0};
+  std::size_t launch_failures{0};
+  std::size_t alloc_failures{0};
+
+  std::size_t total() const {
+    return data_drops + control_drops + nic_stalls + degraded_transfers +
+           launch_failures + alloc_failures;
+  }
+  bool operator==(const FaultCounters&) const = default;
+};
+
+/// One replay-log entry: when a fault fired and what kind it was. Two runs
+/// with the same seed must produce identical logs (the determinism test);
+/// distinct seeds must diverge.
+struct FaultEvent {
+  TimeNs at{0};
+  FaultKind kind{FaultKind::DataDrop};
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(sim::Engine& eng, FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Attach a tracer: injected faults appear as instants on a "faults"
+  /// track. Pass nullptr to detach.
+  void setTracer(sim::Tracer* tracer);
+
+  // ---- Draw points (called by the instrumented components). Each draw
+  // advances only its own category's stream, counts, and logs. ----
+  bool dropData();
+  bool dropControl();
+  /// 0 = no stall this time.
+  DurationNs nicStallDelay();
+  bool failLaunch();
+  bool failAlloc();
+
+  /// Bandwidth scale for a transfer starting at `t` (1.0 = healthy,
+  /// 0 = link down). Pure schedule lookup — no randomness is consumed; the
+  /// caller records the degradation via noteDegraded() when it applies.
+  double linkScaleAt(TimeNs t) const;
+  void noteDegraded();
+
+  const FaultCounters& counters() const { return counters_; }
+  const std::vector<FaultEvent>& log() const { return log_; }
+
+ private:
+  void record(FaultKind kind);
+
+  sim::Engine* eng_;
+  FaultSpec spec_;
+  Rng data_rng_;
+  Rng control_rng_;
+  Rng stall_rng_;
+  Rng launch_rng_;
+  Rng alloc_rng_;
+  FaultCounters counters_;
+  std::vector<FaultEvent> log_;
+  sim::Tracer* tracer_{nullptr};
+  std::uint32_t track_{0};
+};
+
+}  // namespace dkf::fault

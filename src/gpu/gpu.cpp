@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "fault/fault_plan.hpp"
+
 namespace dkf::gpu {
 
 namespace {
@@ -47,6 +49,17 @@ double Gpu::blockBandwidth(double efficiency, std::size_t active) const {
 Gpu::KernelHandle Gpu::launchKernel(StreamId s, std::vector<Op> ops) {
   DKF_CHECK(s < streams_.size());
   DKF_CHECK(!ops.empty());
+  if (faults_ && faults_->failLaunch()) {
+    if (tracer_ && tracer_->isEnabled()) {
+      const auto track = tracer_->track(
+          "gpu" + std::to_string(id_) + ".stream" + std::to_string(s));
+      tracer_->instant(track, "launch_failed", eng_->now(), "fault");
+    }
+    KernelHandle failed;
+    failed.start = failed.end = eng_->now();
+    failed.failed = true;
+    return failed;
+  }
   Stream& stream = streams_[s];
 
   const TimeNs start =

@@ -62,6 +62,10 @@ class Gpu {
     TimeNs end{0};              ///< GPU-side completion
     std::size_t blocks{0};
     std::size_t waves{0};
+    /// Injected launch failure (cudaLaunchKernel error): nothing was
+    /// queued, no op ran and no callback will fire — the caller must
+    /// retry or degrade. Only ever true with a FaultPlan attached.
+    bool failed{false};
   };
 
   struct CopyHandle {
@@ -103,6 +107,13 @@ class Gpu {
   /// Attach a tracer: kernels and copies emit spans on per-stream tracks.
   void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a fault plan: launchKernel may fail (KernelHandle::failed) and
+  /// the arena's tryAllocate may refuse. nullptr to detach.
+  void setFaultPlan(fault::FaultPlan* plan) {
+    faults_ = plan;
+    memory_.setFaultPlan(plan);
+  }
+
   /// Aggregate counters for ablation benches.
   std::size_t kernelsLaunched() const { return kernels_launched_; }
   std::size_t copiesIssued() const { return copies_issued_; }
@@ -124,6 +135,7 @@ class Gpu {
   sim::Engine* eng_;
   const hw::NodeSpec* node_;
   sim::Tracer* tracer_{nullptr};
+  fault::FaultPlan* faults_{nullptr};
   int id_;
   DeviceMemory memory_;
   std::vector<Stream> streams_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hpp"
+
 namespace dkf::gpu {
 
 namespace {
@@ -16,6 +18,20 @@ DeviceMemory::DeviceMemory(std::size_t capacity, int device_id)
 }
 
 MemSpan DeviceMemory::allocate(std::size_t bytes, std::size_t align) {
+  const MemSpan span = findFit(bytes, align);
+  DKF_CHECK_MSG(span.size() == bytes,
+                "device " << device_id_ << " out of memory allocating "
+                          << bytes << " bytes (in use: " << in_use_ << "/"
+                          << arena_.size() << ")");
+  return span;
+}
+
+MemSpan DeviceMemory::tryAllocate(std::size_t bytes, std::size_t align) {
+  if (faults_ && faults_->failAlloc()) return {};
+  return findFit(bytes, align);
+}
+
+MemSpan DeviceMemory::findFit(std::size_t bytes, std::size_t align) {
   DKF_CHECK(bytes > 0);
   DKF_CHECK_MSG((align & (align - 1)) == 0, "alignment must be a power of two");
   for (std::size_t i = 0; i < free_list_.size(); ++i) {
@@ -43,9 +59,6 @@ MemSpan DeviceMemory::allocate(std::size_t bytes, std::size_t align) {
     return MemSpan{std::span(arena_).subspan(aligned, bytes), MemSpace::Device,
                    device_id_};
   }
-  DKF_CHECK_MSG(false, "device " << device_id_ << " out of memory allocating "
-                                 << bytes << " bytes (in use: " << in_use_
-                                 << "/" << arena_.size() << ")");
   return {};
 }
 

@@ -18,6 +18,10 @@
 
 #include "common/check.hpp"
 
+namespace dkf::fault {
+class FaultPlan;
+}
+
 namespace dkf::gpu {
 
 enum class MemSpace { Host, Device };
@@ -53,6 +57,16 @@ class DeviceMemory {
   /// experiment setup, not a recoverable condition.
   MemSpan allocate(std::size_t bytes, std::size_t align = 256);
 
+  /// Fallible allocation for callers with a degradation path (staging
+  /// buffers that can live in host memory instead): returns an empty span
+  /// on genuine exhaustion or when an attached FaultPlan injects an
+  /// allocation failure. allocate() never injects — setup allocations
+  /// stay exempt from fault plans.
+  MemSpan tryAllocate(std::size_t bytes, std::size_t align = 256);
+
+  /// Attach a fault plan consulted by tryAllocate(). nullptr to detach.
+  void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+
   /// Return a span previously obtained from allocate(). Frees by start
   /// address; partial frees are not supported.
   void deallocate(const MemSpan& span);
@@ -73,7 +87,10 @@ class DeviceMemory {
   };
 
   std::size_t offsetOf(const MemSpan& span) const;
+  /// First-fit search; empty span when nothing fits.
+  MemSpan findFit(std::size_t bytes, std::size_t align);
 
+  fault::FaultPlan* faults_{nullptr};
   std::vector<std::byte> arena_;
   std::vector<FreeBlock> free_list_;           // sorted by offset
   std::map<std::size_t, std::size_t> live_;    // offset -> padded length

@@ -37,6 +37,15 @@ Node& Cluster::node(std::size_t i) {
   return *nodes_[i];
 }
 
+void Cluster::setFaultPlan(fault::FaultPlan* plan) {
+  fabric_.setFaultPlan(plan);
+  for (auto& node : nodes_) {
+    for (std::size_t g = 0; g < node->gpuCount(); ++g) {
+      node->gpu(g).setFaultPlan(plan);
+    }
+  }
+}
+
 gpu::Gpu& Cluster::gpu(std::size_t global_id) {
   DKF_CHECK(global_id < gpuCount());
   const std::size_t n = global_id / machine_.node.gpus_per_node;

@@ -48,6 +48,11 @@ class Cluster {
   net::Fabric& fabric() { return fabric_; }
   sim::Engine& engine() { return *eng_; }
 
+  /// Wire a fault plan through the whole machine: the fabric (drops,
+  /// stalls, degradation windows) and every GPU (launch and allocation
+  /// failures). nullptr detaches everywhere.
+  void setFaultPlan(fault::FaultPlan* plan);
+
  private:
   sim::Engine* eng_;
   MachineSpec machine_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/units.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
 #include "schemes/ddt_engine.hpp"
@@ -62,6 +63,23 @@ struct Request {
                                       ///< completion to break the cycle)
 
   bool complete{false};
+
+  // ---- Reliable-transport state (ReliabilityConfig::enabled) ----
+  // A send is sequence-numbered the first time it touches the wire; the
+  // receiver ACKs (eager) or answers duplicate RTSs (rendezvous), and the
+  // sender retransmits on timeout with exponential backoff. All fields stay
+  // at their defaults when reliability is off, so the fault-free protocol
+  // is bit-identical to the unreliable one.
+  std::uint64_t seq{0};
+  bool seq_assigned{false};
+  TimeNs retrans_deadline{0};    ///< 0 = no retransmission armed
+  DurationNs retrans_timeout{0};
+  std::size_t retransmissions{0};
+  bool rndv_matched{false};            ///< receiver already matched this RTS
+  std::weak_ptr<Request> rndv_recv;    ///< the matched receive (receiver-set)
+  std::shared_ptr<Request> rget_sender{};  ///< RGet recv: sender for re-reads
+  gpu::MemSpan delivery_span{};        ///< recv: where packed bytes land
+  std::vector<std::byte> host_staging; ///< degraded host staging (alloc fail)
 
   // Persistent-request support (MPI_Send_init / MPI_Recv_init):
   bool persistent{false};  ///< a reusable operation template

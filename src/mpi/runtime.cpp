@@ -56,6 +56,16 @@ void Proc::resetActivationState(Request& req) {
   req.staging = {};
   req.staging_owned = false;
   req.eager_data.clear();
+  req.seq = 0;
+  req.seq_assigned = false;  // a restart is a new message -> new seq
+  req.retrans_deadline = 0;
+  req.retrans_timeout = 0;
+  req.retransmissions = 0;
+  req.rndv_matched = false;
+  req.rndv_recv.reset();
+  req.rget_sender.reset();
+  req.delivery_span = {};
+  req.host_staging.clear();
   req.ticket = {};
   req.ticket_pending = false;
   req.pack_done = false;
@@ -211,17 +221,89 @@ RequestPtr Proc::matchPosted(int src_rank, int msg_tag) {
   return nullptr;
 }
 
-sim::Task<void> Proc::issueEagerData(RequestPtr req) {
+// ------------------------------------------------- reliable transport ----
+
+bool Proc::reliabilityOn() const { return rt_->config().reliability.enabled; }
+
+void Proc::armRetrans(Request& req) {
+  if (!reliabilityOn()) return;
+  const ReliabilityConfig& rc = rt_->config().reliability;
+  if (req.retrans_timeout == 0) req.retrans_timeout = rc.base_timeout;
+  req.retrans_deadline = rt_->engine().now() + req.retrans_timeout;
+}
+
+bool Proc::retransDue(Request& req) {
+  if (!reliabilityOn() || req.retrans_deadline == 0) return false;
+  if (rt_->engine().now() < req.retrans_deadline) return false;
+  const ReliabilityConfig& rc = rt_->config().reliability;
+  DKF_CHECK_MSG(req.retransmissions < rc.max_retries,
+                "transport gave up: rank " << rank_ << " -> " << req.peer
+                    << " tag " << req.tag << " seq " << req.seq
+                    << " still undelivered after " << req.retransmissions
+                    << " retransmissions");
+  ++req.retransmissions;
+  ++transport_.retransmissions;
+  req.retrans_timeout = std::min<DurationNs>(
+      static_cast<DurationNs>(static_cast<double>(req.retrans_timeout) *
+                              rc.backoff),
+      rc.max_timeout);
+  req.retrans_deadline = rt_->engine().now() + req.retrans_timeout;
+  return true;
+}
+
+gpu::MemSpan Proc::allocStaging(Request& req, std::size_t bytes) {
+  gpu::MemSpan span = gpu_->memory().tryAllocate(bytes);
+  if (span.size() == bytes) {
+    req.staging = span;
+    req.staging_owned = true;
+    return span;
+  }
+  // Device arena refused (exhausted or injected failure): degrade to host
+  // staging. Unpack still works — the DDT engines accept host spans — it
+  // just loses the GPU-resident fast path.
+  ++transport_.host_staging_fallbacks;
+  req.host_staging.assign(bytes, std::byte{0});
+  req.staging = gpu::MemSpan::host(req.host_staging);
+  req.staging_owned = false;
+  return req.staging;
+}
+
+void Proc::sendEagerOnWire(const RequestPtr& req) {
   Runtime* rt = rt_;
   const int src_rank = rank_;
   const int dst_rank = req->peer;
   const int tag = req->tag;
+  const std::uint64_t seq = req->seq;
   rt->cluster().fabric().sendMessage(
       rt->nodeOfRank(src_rank), rt->nodeOfRank(dst_rank), req->staging,
-      [rt, src_rank, dst_rank, tag](std::vector<std::byte> data) {
-        rt->proc(dst_rank).onEager(src_rank, tag, std::move(data));
+      [rt, src_rank, dst_rank, tag, seq, req](std::vector<std::byte> data) {
+        rt->proc(dst_rank).onEager(src_rank, tag, seq, req, std::move(data));
       });
+}
+
+void Proc::sendRtsOnWire(const RequestPtr& req) {
+  Runtime* rt = rt_;
+  const int dst_rank = req->peer;
+  rt->cluster().fabric().sendControl(
+      rt->nodeOfRank(rank_), rt->nodeOfRank(dst_rank),
+      [rt, dst_rank, req] { rt->proc(dst_rank).onRts(req); });
+}
+
+// --------------------------------------------------------------------------
+
+sim::Task<void> Proc::issueEagerData(RequestPtr req) {
+  if (!req->seq_assigned) {
+    req->seq = next_seq_++;
+    req->seq_assigned = true;
+  }
+  sendEagerOnWire(req);
   req->data_in_flight = true;
+  if (reliabilityOn()) {
+    // Completion is deferred to the ACK; the staging must survive so a
+    // retransmission can re-snapshot the payload.
+    armRetrans(*req);
+    co_return;
+  }
   // Eager sends complete locally: the payload was captured on the wire.
   if (req->staging_owned) {
     freeDevice(req->staging);
@@ -233,15 +315,33 @@ sim::Task<void> Proc::issueEagerData(RequestPtr req) {
 
 sim::Task<void> Proc::issueRts(RequestPtr req) {
   req->rts_sent = true;
-  Runtime* rt = rt_;
-  const int dst_rank = req->peer;
-  rt->cluster().fabric().sendControl(
-      rt->nodeOfRank(rank_), rt->nodeOfRank(dst_rank),
-      [rt, dst_rank, req] { rt->proc(dst_rank).onRts(req); });
+  if (!req->seq_assigned) {
+    req->seq = next_seq_++;
+    req->seq_assigned = true;
+  }
+  sendRtsOnWire(req);
+  armRetrans(*req);
   co_return;
 }
 
-void Proc::onEager(int src_rank, int msg_tag, std::vector<std::byte> data) {
+void Proc::onEager(int src_rank, int msg_tag, std::uint64_t seq,
+                   RequestPtr sender_req, std::vector<std::byte> data) {
+  if (reliabilityOn()) {
+    // Always ACK, even duplicates: the sender retransmitting means our
+    // previous ACK was lost (or still in flight), and dup ACKs are ignored.
+    Runtime* rt = rt_;
+    const int sender_rank = src_rank;
+    rt->cluster().fabric().sendControl(
+        rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
+        [rt, sender_rank, sender_req] {
+          rt->proc(sender_rank).onEagerAck(sender_req);
+        });
+    ++transport_.acks_sent;
+    if (!eager_seen_[src_rank].insert(seq).second) {
+      ++transport_.duplicates_ignored;
+      return;
+    }
+  }
   RequestPtr recv = matchPosted(src_rank, msg_tag);
   if (!recv) {
     unexpected_eager_.push_back(
@@ -249,6 +349,19 @@ void Proc::onEager(int src_rank, int msg_tag, std::vector<std::byte> data) {
     return;
   }
   startEagerDelivery(std::move(recv), std::move(data));
+}
+
+void Proc::onEagerAck(RequestPtr sender_req) {
+  if (sender_req->complete) {
+    ++transport_.duplicates_ignored;
+    return;
+  }
+  if (sender_req->staging_owned) {
+    freeDevice(sender_req->staging);
+    sender_req->staging_owned = false;
+  }
+  sender_req->retrans_deadline = 0;
+  sender_req->complete = true;
 }
 
 void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
@@ -276,6 +389,23 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
 }
 
 void Proc::onRts(RequestPtr sender_req) {
+  if (reliabilityOn()) {
+    if (sender_req->complete) {
+      ++transport_.duplicates_ignored;
+      return;
+    }
+    if (sender_req->rndv_matched) {
+      ++transport_.duplicates_ignored;
+      answerDuplicateRts(sender_req);
+      return;
+    }
+    for (const RequestPtr& queued : unexpected_rts_) {
+      if (queued == sender_req) {  // retransmitted before we matched it
+        ++transport_.duplicates_ignored;
+        return;
+      }
+    }
+  }
   RequestPtr recv = matchPosted(sender_req->owner_rank, sender_req->tag);
   if (!recv) {
     unexpected_rts_.push_back(std::move(sender_req));
@@ -284,11 +414,56 @@ void Proc::onRts(RequestPtr sender_req) {
   startRendezvousDelivery(std::move(recv), std::move(sender_req));
 }
 
+void Proc::answerDuplicateRts(const RequestPtr& sender_req) {
+  Runtime* rt = rt_;
+  const int my_node = rt->nodeOfRank(rank_);
+  const int sender_node = rt->nodeOfRank(sender_req->owner_rank);
+  const int sender_rank = sender_req->owner_rank;
+  const RequestPtr prior = sender_req->rndv_recv.lock();
+  switch (sender_req->protocol) {
+    case Protocol::RPut:
+      if (prior && !prior->data_delivered) {
+        // The CTS was lost: repeat the staging address.
+        const gpu::MemSpan dst = prior->delivery_span;
+        rt->cluster().fabric().sendControl(
+            my_node, sender_node, [rt, sender_rank, sender_req, dst] {
+              rt->proc(sender_rank).onCts(sender_req, dst);
+            });
+      }
+      break;
+    case Protocol::RGet:
+      if (!prior || prior->data_delivered) {
+        // The data landed but the FIN was lost: repeat it. (An expired
+        // weak_ptr means the receive retired long ago.)
+        rt->cluster().fabric().sendControl(
+            my_node, sender_node, [rt, sender_rank, sender_req] {
+              rt->proc(sender_rank).onFin(sender_req);
+            });
+      }
+      break;
+    case Protocol::DirectIpc:
+      if (!prior || prior->complete) {
+        rt->cluster().fabric().sendControl(
+            my_node, sender_node, [rt, sender_rank, sender_req] {
+              rt->proc(sender_rank).onFin(sender_req);
+            });
+      }
+      break;
+    case Protocol::Eager:
+      break;  // eager never sends an RTS
+  }
+}
+
 void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
   DKF_CHECK(sender_req->data_bytes <= recv->data_bytes);
   Runtime* rt = rt_;
   const int my_node = rt->nodeOfRank(rank_);
   const int sender_node = rt->nodeOfRank(sender_req->owner_rank);
+
+  if (reliabilityOn()) {
+    sender_req->rndv_matched = true;
+    sender_req->rndv_recv = recv;
+  }
 
   switch (sender_req->protocol) {
     case Protocol::DirectIpc: {
@@ -299,42 +474,27 @@ void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
       break;
     }
     case Protocol::RGet: {
-      gpu::MemSpan dst;
       if (recv->is_contiguous) {
-        dst = recv->user_buf.subspan(0, sender_req->data_bytes);
+        recv->delivery_span = recv->user_buf.subspan(0, sender_req->data_bytes);
       } else {
-        recv->staging = allocDevice(sender_req->data_bytes);
-        recv->staging_owned = true;
-        dst = recv->staging;
+        recv->delivery_span = allocStaging(*recv, sender_req->data_bytes);
       }
-      Proc* self = this;
-      rt->cluster().fabric().rdmaRead(
-          my_node, sender_node, sender_req->staging, dst,
-          [self, rt, recv, sender_req, my_node, sender_node] {
-            recv->data_delivered = true;
-            // FIN releases the sender's packed buffer.
-            const int sender_rank = sender_req->owner_rank;
-            rt->cluster().fabric().sendControl(
-                my_node, sender_node, [rt, sender_rank, sender_req] {
-                  rt->proc(sender_rank).onFin(sender_req);
-                });
-            self->finishRecvData(recv);
-          });
+      recv->rget_sender = sender_req;  // kept for timed-out re-reads
+      armRetrans(*recv);
+      issueRgetRead(recv, sender_req);
       break;
     }
     case Protocol::RPut: {
-      gpu::MemSpan dst;
       if (recv->is_contiguous) {
-        dst = recv->user_buf.subspan(0, sender_req->data_bytes);
+        recv->delivery_span = recv->user_buf.subspan(0, sender_req->data_bytes);
       } else {
-        recv->staging = allocDevice(sender_req->data_bytes);
-        recv->staging_owned = true;
-        dst = recv->staging;
+        recv->delivery_span = allocStaging(*recv, sender_req->data_bytes);
       }
       // CTS hands the sender our staging address; the sender RDMA-WRITEs
       // once its packing finished (overlap with the handshake, §IV-B1).
       const int sender_rank = sender_req->owner_rank;
       sender_req->paired = recv;
+      const gpu::MemSpan dst = recv->delivery_span;
       rt->cluster().fabric().sendControl(
           my_node, sender_node, [rt, sender_rank, sender_req, dst] {
             rt->proc(sender_rank).onCts(sender_req, dst);
@@ -346,17 +506,70 @@ void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
   }
 }
 
+void Proc::issueRgetRead(const RequestPtr& recv, const RequestPtr& sender_req) {
+  Runtime* rt = rt_;
+  Proc* self = this;
+  const int my_node = rt->nodeOfRank(rank_);
+  const int sender_node = rt->nodeOfRank(sender_req->owner_rank);
+  rt->cluster().fabric().rdmaRead(
+      my_node, sender_node, sender_req->staging, recv->delivery_span,
+      [self, rt, recv, sender_req, my_node, sender_node] {
+        if (recv->data_delivered) return;  // a retried read already landed
+        recv->data_delivered = true;
+        recv->rget_sender.reset();
+        recv->retrans_deadline = 0;
+        // FIN releases the sender's packed buffer.
+        const int sender_rank = sender_req->owner_rank;
+        rt->cluster().fabric().sendControl(
+            my_node, sender_node, [rt, sender_rank, sender_req] {
+              rt->proc(sender_rank).onFin(sender_req);
+            });
+        self->finishRecvData(recv);
+      },
+      [recv] { return !recv->data_delivered; });
+}
+
+void Proc::issueRputData(const RequestPtr& req) {
+  Runtime* rt = rt_;
+  RequestPtr recv = req->paired;
+  Proc* receiver = &rt->proc(req->peer);
+  rt->cluster().fabric().rdmaWrite(
+      rt->nodeOfRank(rank_), rt->nodeOfRank(req->peer), req->staging,
+      req->remote_staging, [req, recv, receiver] {
+        // Delivery: sender may release; receiver unpacks.
+        if (req->data_delivered) return;  // a retried write already landed
+        req->data_delivered = true;
+        if (recv) {
+          recv->data_delivered = true;
+          receiver->finishRecvData(recv);
+        }
+      },
+      [req] { return !req->data_delivered; });
+}
+
 void Proc::onCts(RequestPtr sender_req, gpu::MemSpan recv_staging) {
+  if (sender_req->cts_received) {  // duplicate from an answered dup-RTS
+    ++transport_.duplicates_ignored;
+    return;
+  }
   sender_req->cts_received = true;
   sender_req->remote_staging = recv_staging;
+  // Fresh backoff for the data phase.
+  sender_req->retrans_deadline = 0;
+  sender_req->retrans_timeout = 0;
 }
 
 void Proc::onFin(RequestPtr sender_req) {
+  if (sender_req->complete) {  // duplicate from an answered dup-RTS
+    ++transport_.duplicates_ignored;
+    return;
+  }
   if (sender_req->staging_owned) {
     freeDevice(sender_req->staging);
     sender_req->staging_owned = false;
   }
   sender_req->paired.reset();
+  sender_req->retrans_deadline = 0;
   sender_req->complete = true;
 }
 
@@ -384,6 +597,8 @@ void Proc::releaseRecvStaging(Request& r) {
     r.staging_owned = false;
   }
   r.eager_data.clear();
+  r.host_staging.clear();
+  r.delivery_span = {};
 }
 
 sim::Task<void> Proc::tryDirect(RequestPtr recv) {
@@ -427,27 +642,28 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
   if (req->kind == Request::Kind::Send && req->pack_done) {
     switch (req->protocol) {
       case Protocol::Eager:
-        if (!req->data_in_flight) co_await issueEagerData(req);
+        if (!req->data_in_flight) {
+          co_await issueEagerData(req);
+        } else if (!req->complete && retransDue(*req)) {
+          sendEagerOnWire(req);  // un-ACKed: back on the wire
+        }
         break;
       case Protocol::RGet:
-        if (!req->rts_sent) co_await issueRts(req);
+        if (!req->rts_sent) {
+          co_await issueRts(req);
+        } else if (!req->complete && retransDue(*req)) {
+          sendRtsOnWire(req);  // RTS (or its FIN) was lost
+        }
         break;
       case Protocol::RPut:
-        if (req->cts_received && !req->data_in_flight) {
+        if (!req->cts_received) {
+          if (req->rts_sent && retransDue(*req)) sendRtsOnWire(req);
+        } else if (!req->data_in_flight) {
           req->data_in_flight = true;
-          Runtime* rt = rt_;
-          RequestPtr recv = req->paired;
-          Proc* receiver = &rt->proc(req->peer);
-          rt->cluster().fabric().rdmaWrite(
-              rt->nodeOfRank(rank_), rt->nodeOfRank(req->peer), req->staging,
-              req->remote_staging, [req, recv, receiver] {
-                // Delivery: sender may release; receiver unpacks.
-                req->data_delivered = true;
-                if (recv) {
-                  recv->data_delivered = true;
-                  receiver->finishRecvData(recv);
-                }
-              });
+          issueRputData(req);
+          armRetrans(*req);  // data phase gets its own (fresh) backoff
+        } else if (!req->data_delivered && retransDue(*req)) {
+          issueRputData(req);  // the RDMA write was dropped
         }
         if (req->data_delivered && !req->complete) {
           if (req->staging_owned) {
@@ -455,15 +671,24 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
             req->staging_owned = false;
           }
           req->paired.reset();
+          req->retrans_deadline = 0;
           req->complete = true;
         }
         break;
       case Protocol::DirectIpc:
-        break;  // receiver-driven; FIN completes us
+        // Receiver-driven; FIN completes us. A lost RTS or FIN surfaces as
+        // a timeout here, and the receiver answers duplicates idempotently.
+        if (!req->complete && retransDue(*req)) sendRtsOnWire(req);
+        break;
     }
-  } else if (req->kind == Request::Kind::Recv && req->direct_retry) {
-    req->direct_retry = false;
-    co_await tryDirect(req);
+  } else if (req->kind == Request::Kind::Recv) {
+    if (req->direct_retry) {
+      req->direct_retry = false;
+      co_await tryDirect(req);
+    } else if (req->rget_sender && !req->data_delivered &&
+               retransDue(*req)) {
+      issueRgetRead(req, req->rget_sender);  // the RDMA read was dropped
+    }
   }
 }
 

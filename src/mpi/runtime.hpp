@@ -12,9 +12,12 @@
 // the paper's launch scenario 1.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ddt/datatype.hpp"
@@ -27,6 +30,32 @@
 #include "sim/sync.hpp"
 
 namespace dkf::mpi {
+
+/// Sequence-numbered delivery with ACK / timeout / retransmission. Only
+/// meaningful when a FaultPlan can drop packets; OFF by default so the
+/// fault-free wire protocol (and its timing) is untouched.
+struct ReliabilityConfig {
+  bool enabled{false};
+  /// First retransmission fires this long after the original send.
+  DurationNs base_timeout{us(150)};
+  /// Timeout multiplier per retransmission (exponential backoff).
+  double backoff{2.0};
+  /// Backoff ceiling.
+  DurationNs max_timeout{ms(8)};
+  /// Give up (DKF_CHECK failure) after this many retransmissions of one
+  /// message — a plain bug, not a fault, once loss rates are < 100%.
+  std::size_t max_retries{30};
+};
+
+/// Lifetime counters of the reliable transport, per rank.
+struct TransportCounters {
+  std::size_t retransmissions{0};
+  std::size_t acks_sent{0};
+  std::size_t duplicates_ignored{0};
+  /// Receive stagings that fell back to host memory after a (possibly
+  /// injected) device-arena allocation failure.
+  std::size_t host_staging_fallbacks{0};
+};
 
 struct RuntimeConfig {
   schemes::Scheme scheme{schemes::Scheme::Proposed};
@@ -42,6 +71,8 @@ struct RuntimeConfig {
   DurationNs poll_interval{ns(250)};
   /// Fixed bookkeeping cost per MPI call.
   DurationNs call_overhead{ns(150)};
+  /// Retransmission layer (see ReliabilityConfig).
+  ReliabilityConfig reliability{};
 };
 
 class Runtime;
@@ -102,11 +133,16 @@ class Proc {
   /// Active (incomplete) requests owned by this rank.
   std::size_t inFlight() const { return active_.size(); }
 
+  /// Reliable-transport counters (all zero when reliability is off).
+  const TransportCounters& transport() const { return transport_; }
+
  private:
   friend class Runtime;
 
   // Inbound protocol events (called at fabric delivery time).
-  void onEager(int src_rank, int msg_tag, std::vector<std::byte> data);
+  void onEager(int src_rank, int msg_tag, std::uint64_t seq,
+               RequestPtr sender_req, std::vector<std::byte> data);
+  void onEagerAck(RequestPtr sender_req);
   void onRts(RequestPtr sender_req);
   void onCts(RequestPtr sender_req, gpu::MemSpan recv_staging);
   void onFin(RequestPtr sender_req);
@@ -131,6 +167,28 @@ class Proc {
 
   sim::Task<void> issueEagerData(RequestPtr req);
   sim::Task<void> issueRts(RequestPtr req);
+
+  // ---- Reliable transport (no-ops while ReliabilityConfig is off) ----
+  bool reliabilityOn() const;
+  /// Arm (or re-arm) a request's retransmission deadline.
+  void armRetrans(Request& req);
+  /// True when the request's deadline passed: books one retransmission,
+  /// backs the timeout off, re-arms. DKF_CHECKs against max_retries.
+  bool retransDue(Request& req);
+  /// Receive staging with graceful degradation: device arena first, host
+  /// memory when the (possibly injected) allocation fails.
+  gpu::MemSpan allocStaging(Request& req, std::size_t bytes);
+  /// Wire-only halves of the issue* calls, reused by retransmission.
+  void sendEagerOnWire(const RequestPtr& req);
+  void sendRtsOnWire(const RequestPtr& req);
+  /// RGet data phase (receiver-driven RDMA read + FIN); idempotent under
+  /// duplicate deliveries from retried reads.
+  void issueRgetRead(const RequestPtr& recv, const RequestPtr& sender_req);
+  /// RPut data phase (sender-driven RDMA write); idempotent likewise.
+  void issueRputData(const RequestPtr& req);
+  /// A duplicate RTS means one of our control packets was lost — repeat
+  /// the CTS/FIN the sender is evidently still waiting for.
+  void answerDuplicateRts(const RequestPtr& sender_req);
 
   /// Fill the immutable fields of a new request (layout, sizes, flags).
   RequestPtr makeRequest(Request::Kind kind, gpu::MemSpan buf,
@@ -159,6 +217,13 @@ class Proc {
   };
   std::deque<UnexpectedEager> unexpected_eager_;
   std::deque<RequestPtr> unexpected_rts_;   // sender reqs awaiting a match
+
+  // Reliable-transport state.
+  TransportCounters transport_;
+  std::uint64_t next_seq_{1};
+  /// Eager sequence numbers already delivered, per source rank (dedup of
+  /// retransmitted payloads whose ACK was lost).
+  std::unordered_map<int, std::unordered_set<std::uint64_t>> eager_seen_;
 };
 
 class Runtime {

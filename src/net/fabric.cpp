@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -48,6 +49,33 @@ double Fabric::directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const {
   return 0.0;
 }
 
+TimeNs Fabric::departureTime(DurationNs nic_cost) {
+  TimeNs t = eng_->now() + nic_cost;
+  if (faults_) t += faults_->nicStallDelay();
+  return t;
+}
+
+double Fabric::degradedCap(double cap, const Link& link, bool& down) {
+  down = false;
+  if (!faults_) return cap;
+  const double scale = faults_->linkScaleAt(eng_->now());
+  if (scale >= 1.0) return cap;
+  faults_->noteDegraded();
+  if (scale <= 0.0) {
+    down = true;  // link down: the transfer is lost outright
+    return cap;
+  }
+  const double scaled = link.spec().bandwidth.bytesPerNs() * scale;
+  return cap > 0.0 ? std::min(cap, scaled) : scaled;
+}
+
+void Fabric::traceDrop(int src_node, int dst_node, const char* what) {
+  if (!tracer_ || !tracer_->isEnabled()) return;
+  const auto track = tracer_->track("fabric." + std::to_string(src_node) +
+                                    "->" + std::to_string(dst_node));
+  tracer_->instant(track, std::string("drop:") + what, eng_->now(), "fault");
+}
+
 TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
                         gpu::MemSpan dst, std::function<void()> on_delivered) {
   DKF_CHECK_MSG(dst.size() >= payload.size(),
@@ -56,10 +84,16 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
   Link& link = linkBetween(src_node, dst_node);
   const double cap =
       src_node == dst_node ? 0.0 : directCap(payload, dst);
-  const TimeNs delivery =
-      link.transferAt(eng_->now() + machine_.nic_per_message, payload.size(), cap);
+  bool down = false;
+  const double eff_cap = degradedCap(cap, link, down);
+  const TimeNs delivery = link.transferAt(
+      departureTime(machine_.nic_per_message), payload.size(), eff_cap);
   traceTransfer(src_node, dst_node, "data", payload.size(), eng_->now(),
                 delivery);
+  if (down || (faults_ && faults_->dropData())) {
+    traceDrop(src_node, dst_node, "data");
+    return delivery;  // wire time was spent; the payload never lands
+  }
   eng_->scheduleAt(delivery,
                    [payload, dst, cb = std::move(on_delivered)]() mutable {
                      std::memcpy(dst.bytes.data(), payload.bytes.data(),
@@ -72,10 +106,16 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
 TimeNs Fabric::sendControl(int src_node, int dst_node,
                            std::function<void()> on_delivered) {
   Link& link = linkBetween(src_node, dst_node);
+  bool down = false;
+  const double eff_cap = degradedCap(0.0, link, down);
   const TimeNs delivery = link.transferAt(
-      eng_->now() + machine_.nic_per_message, kControlPacketBytes);
+      departureTime(machine_.nic_per_message), kControlPacketBytes, eff_cap);
   traceTransfer(src_node, dst_node, "ctrl", kControlPacketBytes, eng_->now(),
                 delivery);
+  if (down || (faults_ && faults_->dropControl())) {
+    traceDrop(src_node, dst_node, "ctrl");
+    return delivery;
+  }
   eng_->scheduleAt(delivery, [cb = std::move(on_delivered)]() mutable {
     if (cb) cb();
   });
@@ -89,10 +129,16 @@ TimeNs Fabric::sendMessage(
   const double cap = src_node == dst_node
                          ? 0.0
                          : directCap(payload, gpu::MemSpan{});
+  bool down = false;
+  const double eff_cap = degradedCap(cap, link, down);
   const TimeNs delivery = link.transferAt(
-      eng_->now() + machine_.nic_per_message, payload.size(), cap);
+      departureTime(machine_.nic_per_message), payload.size(), eff_cap);
   traceTransfer(src_node, dst_node, "eager", payload.size(), eng_->now(),
                 delivery);
+  if (down || (faults_ && faults_->dropData())) {
+    traceDrop(src_node, dst_node, "eager");
+    return delivery;
+  }
   std::vector<std::byte> snapshot(payload.bytes.begin(), payload.bytes.end());
   eng_->scheduleAt(delivery, [data = std::move(snapshot),
                               cb = std::move(on_delivered)]() mutable {
@@ -102,19 +148,27 @@ TimeNs Fabric::sendMessage(
 }
 
 TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
-                        gpu::MemSpan dst, std::function<void()> on_done) {
+                        gpu::MemSpan dst, std::function<void()> on_done,
+                        std::function<bool()> still_wanted) {
   DKF_CHECK(dst.size() >= src.size());
   // Request propagation to the target, then the data streams back over the
   // target->reader channel.
   Link& back = linkBetween(target_node, reader_node);
   const TimeNs request_arrival =
-      eng_->now() + machine_.rdma_setup +
+      departureTime(machine_.rdma_setup) +
       (reader_node == target_node ? ns(0) : machine_.internode.latency);
-  const TimeNs delivery =
-      back.transferAt(request_arrival, src.size(), directCap(src, dst));
+  bool down = false;
+  const double eff_cap = degradedCap(directCap(src, dst), back, down);
+  const TimeNs delivery = back.transferAt(request_arrival, src.size(), eff_cap);
   traceTransfer(target_node, reader_node, "rdma_read", src.size(),
                 eng_->now(), delivery);
-  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done)]() mutable {
+  if (down || (faults_ && faults_->dropData())) {
+    traceDrop(target_node, reader_node, "rdma_read");
+    return delivery;
+  }
+  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done),
+                              want = std::move(still_wanted)]() mutable {
+    if (want && !want()) return;  // superseded by an earlier delivery
     std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
     if (cb) cb();
   });
@@ -122,14 +176,23 @@ TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
 }
 
 TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
-                         gpu::MemSpan dst, std::function<void()> on_done) {
+                         gpu::MemSpan dst, std::function<void()> on_done,
+                         std::function<bool()> still_wanted) {
   DKF_CHECK(dst.size() >= src.size());
   Link& fwd = linkBetween(writer_node, target_node);
-  const TimeNs delivery = fwd.transferAt(eng_->now() + machine_.rdma_setup,
-                                         src.size(), directCap(src, dst));
+  bool down = false;
+  const double eff_cap = degradedCap(directCap(src, dst), fwd, down);
+  const TimeNs delivery = fwd.transferAt(departureTime(machine_.rdma_setup),
+                                         src.size(), eff_cap);
   traceTransfer(writer_node, target_node, "rdma_write", src.size(),
                 eng_->now(), delivery);
-  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done)]() mutable {
+  if (down || (faults_ && faults_->dropData())) {
+    traceDrop(writer_node, target_node, "rdma_write");
+    return delivery;
+  }
+  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done),
+                              want = std::move(still_wanted)]() mutable {
+    if (want && !want()) return;  // superseded by an earlier delivery
     std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
     if (cb) cb();
   });

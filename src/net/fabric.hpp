@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "gpu/memory.hpp"
 #include "hw/spec.hpp"
 #include "net/link.hpp"
@@ -50,12 +51,20 @@ class Fabric {
   /// One-sided RDMA READ issued by `reader_node` against `target_node`:
   /// a request propagates to the target, then data streams back. The copy
   /// into `dst` happens at delivery, then `on_done` runs at the reader.
+  /// `still_wanted` (optional) is consulted at delivery time: when it
+  /// returns false the transfer is quietly discarded — no copy, no
+  /// callback. Retransmitting transports use it so a late duplicate of a
+  /// merely-slow (not dropped) transfer cannot scribble over spans that
+  /// were re-used after the first copy landed.
   TimeNs rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
-                  gpu::MemSpan dst, std::function<void()> on_done);
+                  gpu::MemSpan dst, std::function<void()> on_done,
+                  std::function<bool()> still_wanted = {});
 
   /// One-sided RDMA WRITE issued by `writer_node` into `target_node`.
+  /// `still_wanted` as for rdmaRead.
   TimeNs rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
-                   gpu::MemSpan dst, std::function<void()> on_done);
+                   gpu::MemSpan dst, std::function<void()> on_done,
+                   std::function<bool()> still_wanted = {});
 
   std::size_t totalBytesCarried() const;
   std::size_t totalMessages() const;
@@ -63,16 +72,33 @@ class Fabric {
   /// Attach a tracer: every transfer emits a span on its channel's track.
   void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a fault plan: sends consult it for NIC stalls, packet drops
+  /// and link-degradation windows. A dropped transfer still occupies the
+  /// wire (the bytes were transmitted, then lost) but its delivery
+  /// callback — and for data, the memcpy — never runs. Pass nullptr to
+  /// detach (the default: a loss-free fabric).
+  void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+
  private:
   Link& linkBetween(int src_node, int dst_node);
   /// Bandwidth cap (bytes/ns) for a transfer touching these spans; 0 = none.
   double directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const;
 
+  /// Earliest wire time for a send issued now (NIC overhead + any injected
+  /// NIC stall).
+  TimeNs departureTime(DurationNs nic_cost);
+  /// Fold the active link-degradation scale into a bandwidth cap.
+  /// Returns the effective cap (0 = uncapped) and sets `down` when the
+  /// link is inside a zero-bandwidth window.
+  double degradedCap(double cap, const Link& link, bool& down);
+
   void traceTransfer(int src_node, int dst_node, const char* what,
                      std::size_t bytes, TimeNs begin, TimeNs delivery);
+  void traceDrop(int src_node, int dst_node, const char* what);
 
   sim::Engine* eng_;
   sim::Tracer* tracer_{nullptr};
+  fault::FaultPlan* faults_{nullptr};
   hw::MachineSpec machine_;
   std::size_t nodes_;
   // links_[src * nodes_ + dst]; diagonal entries are the intra-node path.

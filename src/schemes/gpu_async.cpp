@@ -2,6 +2,12 @@
 
 namespace dkf::schemes {
 
+namespace {
+/// Injected launch failures (FaultPlan) are retried with doubling backoff.
+constexpr std::size_t kMaxLaunchAttempts = 10;
+constexpr DurationNs kLaunchRetryBackoff = us(2);
+}  // namespace
+
 GpuAsyncEngine::GpuAsyncEngine(sim::Engine& eng, sim::CpuTimeline& cpu,
                                gpu::Gpu& gpu, std::size_t streams)
     : eng_(&eng), cpu_(&cpu), gpu_(&gpu) {
@@ -18,9 +24,17 @@ sim::Task<Ticket> GpuAsyncEngine::launchOne(gpu::Gpu::Op op) {
   next_stream_ = (next_stream_ + 1) % streams_.size();
 
   // Kernel launch (full overhead) ...
-  co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
-  breakdown_.launching += gpu_->spec().kernel_launch_overhead;
-  const auto handle = gpu_->launchKernel(stream, {std::move(op)});
+  gpu::Gpu::KernelHandle handle;
+  for (std::size_t attempt = 0;; ++attempt) {
+    co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
+    breakdown_.launching += gpu_->spec().kernel_launch_overhead;
+    handle = gpu_->launchKernel(stream, {op});
+    if (!handle.failed) break;
+    DKF_CHECK_MSG(attempt + 1 < kMaxLaunchAttempts,
+                  "GPU-Async kernel launch failed " << kMaxLaunchAttempts
+                                                    << " times in a row");
+    co_await eng_->delay(kLaunchRetryBackoff << attempt);
+  }
   breakdown_.pack_unpack += handle.end - handle.start;
 
   // ... plus cudaEventRecord so completion can be tracked without a sync.

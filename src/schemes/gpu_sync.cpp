@@ -2,6 +2,13 @@
 
 namespace dkf::schemes {
 
+namespace {
+/// Kernel launches can fail under an injected FaultPlan; retry with
+/// doubling backoff before declaring the run broken.
+constexpr std::size_t kMaxLaunchAttempts = 10;
+constexpr DurationNs kLaunchRetryBackoff = us(2);
+}  // namespace
+
 GpuSyncEngine::GpuSyncEngine(sim::Engine& eng, sim::CpuTimeline& cpu,
                              gpu::Gpu& gpu)
     : eng_(&eng), cpu_(&cpu), gpu_(&gpu), stream_(gpu.createStream()) {}
@@ -10,9 +17,17 @@ sim::Task<Ticket> GpuSyncEngine::runOne(gpu::Gpu::Op op) {
   ++submissions_;
 
   // Launch one kernel for this single operation...
-  co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
-  breakdown_.launching += gpu_->spec().kernel_launch_overhead;
-  const auto handle = gpu_->launchKernel(stream_, {std::move(op)});
+  gpu::Gpu::KernelHandle handle;
+  for (std::size_t attempt = 0;; ++attempt) {
+    co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
+    breakdown_.launching += gpu_->spec().kernel_launch_overhead;
+    handle = gpu_->launchKernel(stream_, {op});
+    if (!handle.failed) break;
+    DKF_CHECK_MSG(attempt + 1 < kMaxLaunchAttempts,
+                  "GPU-Sync kernel launch failed " << kMaxLaunchAttempts
+                                                   << " times in a row");
+    co_await eng_->delay(kLaunchRetryBackoff << attempt);
+  }
   breakdown_.pack_unpack += handle.end - handle.start;
 
   // ...and busy-wait at its boundary (the defining cost of this scheme:

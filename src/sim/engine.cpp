@@ -15,6 +15,15 @@ bool Engine::step() {
   // copy the callback handle instead (std::function copy of the top).
   Event ev = queue_.top();
   queue_.pop();
+  DKF_CHECK_MSG(
+      !watchdog_armed_ || ev.time <= watchdog_deadline_,
+      "sim watchdog tripped: next event at t=" << ev.time
+          << " ns exceeds the liveness deadline " << watchdog_deadline_
+          << " ns (now=" << now_ << " ns, processed=" << processed_
+          << " events, pending=" << queue_.size() + 1
+          << ", suspended tasks=" << spawned_.size()
+          << ") — a lost control packet or un-acked transfer is likely "
+             "spinning a progress loop");
   now_ = ev.time;
   ++processed_;
   ev.cb();

@@ -49,6 +49,19 @@ class Engine {
   std::size_t pendingEvents() const { return queue_.size(); }
   std::size_t processedEvents() const { return processed_; }
 
+  /// Liveness watchdog: the first event whose timestamp exceeds `deadline`
+  /// (absolute virtual time) throws CheckFailure with a diagnostic dump
+  /// instead of running. A lost FIN or dropped CTS leaves progress loops
+  /// re-polling forever — the event queue never drains, run() spins, and
+  /// nothing fails; the watchdog converts that livelock into a loud,
+  /// attributable error.
+  void setWatchdog(TimeNs deadline) {
+    watchdog_deadline_ = deadline;
+    watchdog_armed_ = true;
+  }
+  void clearWatchdog() { watchdog_armed_ = false; }
+  bool watchdogArmed() const { return watchdog_armed_; }
+
   /// Start a detached coroutine; the engine keeps its frame alive until it
   /// completes. Exceptions escaping a spawned task are rethrown from
   /// run()/step() at reap time so tests fail loudly.
@@ -94,6 +107,8 @@ class Engine {
   TimeNs now_{0};
   std::uint64_t seq_{0};
   std::size_t processed_{0};
+  TimeNs watchdog_deadline_{0};
+  bool watchdog_armed_{false};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Task<void>> spawned_;
 };

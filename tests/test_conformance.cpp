@@ -1,0 +1,225 @@
+// Cross-scheme conformance: every registered DdtEngine must produce
+// byte-identical unpacked receive buffers for all four ddtbench workloads,
+// across seeds and buffer counts — in a fault-free world AND under a lossy
+// FaultPlan with the retransmission layer enabled. The expected image is
+// built on the host from the flattened layout: segment bytes equal the
+// sender's buffer, every other byte keeps the 0xAA sentinel (no scheme may
+// scribble outside the datatype's footprint).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "hw/cluster.hpp"
+#include "hw/machines.hpp"
+#include "mpi/runtime.hpp"
+#include "schemes/factory.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dkf {
+namespace {
+
+constexpr std::byte kSentinel{0xAA};
+
+struct RunSpec {
+  schemes::Scheme scheme;
+  workloads::Workload wl;
+  int n_bufs{1};
+  std::uint64_t seed{1};
+  bool lossy{false};
+  mpi::Protocol rendezvous{mpi::Protocol::RGet};
+  bool intra_node{false};
+};
+
+/// The lossy environment every scheme must survive: ~12% loss on both data
+/// and control packets plus occasional NIC stalls, with retransmission on
+/// and a watchdog that turns any livelock into a loud test failure.
+fault::FaultSpec lossySpec(std::uint64_t seed) {
+  fault::FaultSpec fs;
+  fs.seed = seed * 0x9E3779B9ull + 11;
+  fs.data_loss = 0.12;
+  fs.control_loss = 0.12;
+  fs.nic_stall_prob = 0.05;
+  fs.nic_stall = us(3);
+  return fs;
+}
+
+void runConformance(const RunSpec& rs) {
+  SCOPED_TRACE(std::string(schemes::schemeName(rs.scheme)) + " / " +
+               rs.wl.name + " / bufs=" + std::to_string(rs.n_bufs) +
+               " / seed=" + std::to_string(rs.seed) +
+               (rs.lossy ? " / lossy" : " / fault-free") +
+               (rs.rendezvous == mpi::Protocol::RPut ? " / rput" : "") +
+               (rs.intra_node ? " / intra" : ""));
+
+  sim::Engine eng;
+  hw::MachineSpec machine = hw::lassen();
+  const std::size_t region = std::max<std::size_t>(rs.wl.regionBytes(), 64);
+  const std::size_t needed =
+      region * static_cast<std::size_t>(rs.n_bufs) * 3 + (8u << 20);
+  machine.node.gpu.arena_bytes =
+      std::max(machine.node.gpu.arena_bytes, needed);
+  machine.node.gpus_per_node = rs.intra_node ? 2 : 1;
+  hw::Cluster cluster(eng, machine, rs.intra_node ? 1 : 2);
+
+  std::optional<fault::FaultPlan> plan;
+  mpi::RuntimeConfig cfg;
+  cfg.scheme = rs.scheme;
+  cfg.rendezvous = rs.rendezvous;
+  if (rs.lossy) {
+    plan.emplace(eng, lossySpec(rs.seed));
+    cluster.setFaultPlan(&*plan);
+    cfg.reliability.enabled = true;
+    cfg.reliability.base_timeout = us(40);
+    cfg.reliability.max_timeout = us(2000);
+    cfg.reliability.max_retries = 60;
+    eng.setWatchdog(sec(1));  // a hang must trip loudly, not time out
+  }
+  mpi::Runtime rt(cluster, cfg);
+  auto& p0 = rt.proc(0);
+  auto& p1 = rt.proc(1);
+
+  Rng fill(rs.seed);
+  std::vector<gpu::MemSpan> send0, recv0, send1, recv1;
+  for (int i = 0; i < rs.n_bufs; ++i) {
+    auto s0 = p0.allocDevice(region);
+    auto r0 = p0.allocDevice(region);
+    auto s1 = p1.allocDevice(region);
+    auto r1 = p1.allocDevice(region);
+    for (auto& b : s0.bytes) b = static_cast<std::byte>(fill.below(256));
+    for (auto& b : s1.bytes) b = static_cast<std::byte>(fill.below(256));
+    std::memset(r0.bytes.data(), 0xAA, region);
+    std::memset(r1.bytes.data(), 0xAA, region);
+    send0.push_back(s0);
+    recv0.push_back(r0);
+    send1.push_back(s1);
+    recv1.push_back(r1);
+  }
+
+  auto body = [](mpi::Proc& p, std::vector<gpu::MemSpan>& sends,
+                 std::vector<gpu::MemSpan>& recvs,
+                 const workloads::Workload& wl, int peer) -> sim::Task<void> {
+    std::vector<mpi::RequestPtr> reqs;
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      reqs.push_back(co_await p.irecv(recvs[i], wl.type, wl.count, peer,
+                                      static_cast<int>(i)));
+    }
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+      reqs.push_back(co_await p.isend(sends[i], wl.type, wl.count, peer,
+                                      static_cast<int>(i)));
+    }
+    co_await p.waitall(std::move(reqs));
+  };
+  eng.spawn(body(p0, send0, recv0, rs.wl, 1));
+  eng.spawn(body(p1, send1, recv1, rs.wl, 0));
+  eng.run();
+  ASSERT_EQ(eng.unfinishedTasks(), 0u) << "exchange deadlocked";
+
+  const auto layout = ddt::flatten(rs.wl.type, rs.wl.count);
+  std::vector<std::byte> expect(region);
+  auto verify = [&](const gpu::MemSpan& recv, const gpu::MemSpan& send) {
+    std::memset(expect.data(), 0xAA, region);
+    for (const auto& seg : layout.segments()) {
+      std::memcpy(expect.data() + seg.offset, send.bytes.data() + seg.offset,
+                  seg.len);
+    }
+    ASSERT_EQ(std::memcmp(recv.bytes.data(), expect.data(), region), 0);
+  };
+  for (int i = 0; i < rs.n_bufs; ++i) {
+    verify(recv1[i], send0[i]);
+    verify(recv0[i], send1[i]);
+  }
+  (void)kSentinel;
+}
+
+/// The four ddtbench workloads at sizes straddling the eager/rendezvous
+/// boundary: oc/cm are eager (~1-1.5 KB packed), MILC/NAS rendezvous
+/// (24/18 KB packed).
+std::vector<workloads::Workload> conformanceWorkloads() {
+  return {workloads::specfem3dOc(8), workloads::specfem3dCm(8),
+          workloads::milcZdown(32), workloads::nasMgFace(48)};
+}
+
+class SchemeConformance : public ::testing::TestWithParam<schemes::Scheme> {};
+
+TEST_P(SchemeConformance, ByteIdenticalFaultFree) {
+  for (const auto& wl : conformanceWorkloads()) {
+    for (const std::uint64_t seed : {0x11ull, 0x22ull}) {
+      for (const int n_bufs : {1, 3}) {
+        RunSpec rs;
+        rs.scheme = GetParam();
+        rs.wl = wl;
+        rs.n_bufs = n_bufs;
+        rs.seed = seed;
+        runConformance(rs);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST_P(SchemeConformance, ByteIdenticalUnderLossWithRetransmission) {
+  for (const auto& wl : conformanceWorkloads()) {
+    for (const std::uint64_t seed : {0x11ull, 0x22ull}) {
+      for (const int n_bufs : {1, 3}) {
+        RunSpec rs;
+        rs.scheme = GetParam();
+        rs.wl = wl;
+        rs.n_bufs = n_bufs;
+        rs.seed = seed;
+        rs.lossy = true;
+        runConformance(rs);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST_P(SchemeConformance, ByteIdenticalUnderLossRPut) {
+  // The RPut handshake has its own loss-recovery paths (lost CTS, dropped
+  // RDMA write); exercise them with the rendezvous-sized workloads.
+  for (const auto& wl :
+       {workloads::milcZdown(32), workloads::nasMgFace(48)}) {
+    for (const std::uint64_t seed : {0x33ull, 0x44ull}) {
+      RunSpec rs;
+      rs.scheme = GetParam();
+      rs.wl = wl;
+      rs.n_bufs = 2;
+      rs.seed = seed;
+      rs.lossy = true;
+      rs.rendezvous = mpi::Protocol::RPut;
+      runConformance(rs);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(SchemeConformance, ByteIdenticalIntraNodeUnderLoss) {
+  // Intra-node: DirectIPC for the schemes that support it, the pack path
+  // for the rest — both must survive lost RTS/FIN control packets.
+  RunSpec rs;
+  rs.scheme = GetParam();
+  rs.wl = workloads::specfem3dCm(8);
+  rs.n_bufs = 2;
+  rs.seed = 0x55;
+  rs.lossy = true;
+  rs.intra_node = true;
+  runConformance(rs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SchemeConformance, ::testing::ValuesIn(schemes::kAllSchemes),
+    [](const ::testing::TestParamInfo<schemes::Scheme>& param_info) {
+      std::string name{schemes::schemeName(param_info.param)};
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dkf
