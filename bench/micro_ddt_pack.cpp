@@ -1,10 +1,25 @@
-// Host-performance micro-benchmarks (google-benchmark) for the DDT engine
-// primitives on the critical path of every scheme: datatype flattening,
-// layout-cache lookup, and the reference pack/unpack/strided-copy loops.
-#include <benchmark/benchmark.h>
-
+// Host-performance micro-benchmark for the DDT engine primitives on the
+// critical path of every scheme: datatype flattening, layout-cache lookup,
+// and the reference pack loops.
+//
+// The count-compressed layout engine claims (a) flatten(type, count) costs
+// O(blocks-per-element) regardless of count where the seed materialized
+// count x blocks segments, (b) a layout occupies O(blocks-per-element)
+// memory, and (c) a count sweep over one type costs ONE flatten through the
+// LayoutCache (hit rate >= 99%). Each claim is measured against a *naive
+// shadow* — the seed algorithm reimplemented locally (enumerate all
+// count x blocks runs, globally sort + coalesce, pack per segment) — and
+// the sweep is emitted as a JSON record to BENCH_ddt_pack.json (or the path
+// given as argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_util/table.hpp"
 #include "common/rng.hpp"
 #include "ddt/datatype.hpp"
 #include "ddt/layout.hpp"
@@ -15,102 +30,221 @@ namespace {
 
 using namespace dkf;
 
-void BM_FlattenSparseIndexed(benchmark::State& state) {
-  const auto wl = workloads::specfem3dOc(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto layout = ddt::flatten(wl.type, 1);
-    benchmark::DoNotOptimize(layout.blockCount());
+/// The seed's flatten: materialize every run of every element, then sort
+/// and coalesce the full list. O(count x blocks) time and memory.
+std::vector<ddt::Segment> naiveFlatten(const ddt::DatatypePtr& type,
+                                       std::size_t count) {
+  std::vector<ddt::Segment> segs;
+  type->forEachBlock(count, [&](std::int64_t offset, std::size_t len) {
+    segs.push_back(ddt::Segment{offset, len});
+  });
+  std::sort(segs.begin(), segs.end(),
+            [](const ddt::Segment& a, const ddt::Segment& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<ddt::Segment> merged;
+  merged.reserve(segs.size());
+  for (const ddt::Segment& s : segs) {
+    if (s.len == 0) continue;
+    if (!merged.empty() &&
+        merged.back().offset + static_cast<std::int64_t>(merged.back().len) ==
+            s.offset) {
+      merged.back().len += s.len;
+    } else {
+      merged.push_back(s);
+    }
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(ddt::flatten(wl.type, 1).blockCount()));
+  return merged;
 }
-BENCHMARK(BM_FlattenSparseIndexed)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_FlattenNestedVector(benchmark::State& state) {
-  const auto wl = workloads::milcZdown(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto layout = ddt::flatten(wl.type, 1);
-    benchmark::DoNotOptimize(layout.size());
+/// Median-of-reps wall time of `fn` in nanoseconds.
+template <class F>
+double timeNs(F&& fn, int reps = 9) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
   }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
 }
-BENCHMARK(BM_FlattenNestedVector)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_LayoutCacheHit(benchmark::State& state) {
-  ddt::LayoutCache cache;
-  const auto wl = workloads::specfem3dCm(64);
-  cache.get(wl.type, 1);  // warm
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.get(wl.type, 1));
-  }
-}
-BENCHMARK(BM_LayoutCacheHit);
+volatile std::size_t g_sink = 0;
 
-void BM_LayoutCacheMissVsFlatten(benchmark::State& state) {
-  const auto wl = workloads::specfem3dCm(64);
-  for (auto _ : state) {
-    ddt::LayoutCache cache;
-    benchmark::DoNotOptimize(cache.get(wl.type, 1));
-  }
-}
-BENCHMARK(BM_LayoutCacheMissVsFlatten);
+struct FlattenRow {
+  std::string workload;
+  std::size_t count;
+  std::size_t blocks;
+  double flatten_ns;
+  double naive_ns;
+  std::size_t compressed_bytes;
+  std::size_t naive_bytes;
+  std::size_t groups;
+};
 
-void BM_PackCpuSparse(benchmark::State& state) {
-  const auto wl = workloads::specfem3dOc(static_cast<std::size_t>(state.range(0)));
-  const auto layout = ddt::flatten(wl.type, 1);
-  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
-  std::vector<std::byte> packed(layout.size());
-  Rng rng(1);
-  for (auto& b : origin) b = static_cast<std::byte>(rng.below(256));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ddt::packCpu(layout, origin, packed));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.size()));
-}
-BENCHMARK(BM_PackCpuSparse)->Arg(8)->Arg(64)->Arg(256);
+struct PackRow {
+  std::string workload;
+  std::size_t count;
+  std::size_t bytes;
+  double pack_ns_per_byte;
+  double naive_ns_per_byte;
+};
 
-void BM_PackCpuDense(benchmark::State& state) {
-  const auto wl = workloads::nasMgFace(static_cast<std::size_t>(state.range(0)));
-  const auto layout = ddt::flatten(wl.type, 1);
-  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
-  std::vector<std::byte> packed(layout.size());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ddt::packCpu(layout, origin, packed));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.size()));
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
 }
-BENCHMARK(BM_PackCpuDense)->Arg(32)->Arg(64)->Arg(128);
-
-void BM_UnpackCpuDense(benchmark::State& state) {
-  const auto wl = workloads::nasMgFace(static_cast<std::size_t>(state.range(0)));
-  const auto layout = ddt::flatten(wl.type, 1);
-  std::vector<std::byte> origin(static_cast<std::size_t>(layout.endOffset()));
-  std::vector<std::byte> packed(layout.size());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ddt::unpackCpu(layout, packed, origin));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.size()));
-}
-BENCHMARK(BM_UnpackCpuDense)->Arg(32)->Arg(128);
-
-void BM_CopyStrided(benchmark::State& state) {
-  const auto a = workloads::milcZdown(static_cast<std::size_t>(state.range(0)));
-  const auto la = ddt::flatten(a.type, 1);
-  const auto lb = ddt::flatten(
-      ddt::Datatype::contiguous(la.size(), ddt::Datatype::byte()), 1);
-  std::vector<std::byte> src(static_cast<std::size_t>(la.endOffset()));
-  std::vector<std::byte> dst(la.size());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ddt::copyStrided(la, src, lb, dst));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(la.size()));
-}
-BENCHMARK(BM_CopyStrided)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::banner(std::cout,
+                "Micro — count-compressed flatten vs naive segment "
+                "materialization (cost and memory must be count-independent)");
+
+  const std::vector<workloads::Workload> types = {
+      workloads::specfem3dOc(32), workloads::specfem3dCm(16),
+      workloads::milcZdown(32), workloads::nasMgFace(32)};
+
+  std::vector<FlattenRow> flatten_rows;
+  bench::Table ftable({"Workload", "Count", "Blocks", "Flatten ns",
+                       "Naive ns", "Compressed B", "Naive B", "Groups"});
+  for (const auto& wl : types) {
+    for (const std::size_t count : {1u, 8u, 64u, 256u, 1024u}) {
+      const double flat_ns = timeNs([&] {
+        const auto l = ddt::flatten(wl.type, count);
+        g_sink += l.blockCount();
+      });
+      const double naive_ns = timeNs([&] {
+        const auto segs = naiveFlatten(wl.type, count);
+        g_sink += segs.size();
+      });
+      const auto layout = ddt::flatten(wl.type, count);
+      const std::size_t naive_bytes =
+          layout.blockCount() * sizeof(ddt::Segment);
+      flatten_rows.push_back(FlattenRow{
+          wl.name, count, layout.blockCount(), flat_ns, naive_ns,
+          layout.compressedBytes(), naive_bytes, layout.groupCount()});
+      const FlattenRow& r = flatten_rows.back();
+      ftable.addRow({r.workload, std::to_string(r.count),
+                     std::to_string(r.blocks), fmt1(r.flatten_ns),
+                     fmt1(r.naive_ns), std::to_string(r.compressed_bytes),
+                     std::to_string(r.naive_bytes),
+                     std::to_string(r.groups)});
+    }
+  }
+  ftable.print(std::cout);
+  std::cout << "\nShape: compressed flatten ns and bytes stay ~flat as count "
+               "grows (the body repetition is symbolic); the naive path "
+               "grows linearly in count x blocks.\n";
+
+  // ---- Pack throughput: compressed loop nests vs per-segment shadow ----
+  bench::banner(std::cout,
+                "Micro — packCpu over the compressed form vs naive "
+                "per-segment copy (ns per payload byte)");
+  std::vector<PackRow> pack_rows;
+  bench::Table ptable(
+      {"Workload", "Count", "Payload B", "Pack ns/B", "Naive ns/B"});
+  for (const auto& wl : types) {
+    for (const std::size_t count : {1u, 4u, 16u}) {
+      const auto layout = ddt::flatten(wl.type, count);
+      if (layout.minOffset() < 0 || layout.size() == 0) continue;
+      std::vector<std::byte> origin(
+          static_cast<std::size_t>(layout.endOffset()));
+      Rng rng(7);
+      for (auto& b : origin) b = static_cast<std::byte>(rng.below(256));
+      std::vector<std::byte> packed(layout.size());
+
+      const double pack_ns = timeNs([&] {
+        g_sink += ddt::packCpu(layout, origin, packed);
+      });
+      const auto segs = naiveFlatten(wl.type, count);
+      const double naive_ns = timeNs([&] {
+        std::size_t out = 0;
+        for (const ddt::Segment& s : segs) {
+          std::copy_n(origin.begin() + s.offset, s.len, packed.begin() + out);
+          out += s.len;
+        }
+        g_sink += out;
+      });
+      const auto bytes = static_cast<double>(layout.size());
+      pack_rows.push_back(PackRow{wl.name, count, layout.size(),
+                                  pack_ns / bytes, naive_ns / bytes});
+      const PackRow& r = pack_rows.back();
+      ptable.addRow({r.workload, std::to_string(r.count),
+                     std::to_string(r.bytes), fmt1(r.pack_ns_per_byte * 1000),
+                     fmt1(r.naive_ns_per_byte * 1000)});
+    }
+  }
+  ptable.print(std::cout);
+  std::cout << "\n(ns/B columns are scaled x1000: picoseconds per byte.)\n";
+
+  // ---- Layout-cache count sweep: one flatten total ----
+  bench::banner(std::cout,
+                "Micro — LayoutCache count sweep (one flatten per type, "
+                "hit rate >= 99%)");
+  ddt::LayoutCache cache;
+  const auto sweep_wl = workloads::milcZdown(32);
+  constexpr std::size_t kSweepCounts = 512;
+  for (std::size_t count = 1; count <= kSweepCounts; ++count) {
+    g_sink += cache.get(sweep_wl.type, count)->blockCount();
+  }
+  const auto& cc = cache.counters();
+  const double lookups = static_cast<double>(cc.hits + cc.misses);
+  const double hit_rate = static_cast<double>(cc.hits) / lookups;
+  std::cout << "lookups " << static_cast<std::size_t>(lookups) << ", misses "
+            << cc.misses << " (element flattens), hits " << cc.hits
+            << ", derivations " << cc.derivations << ", hit rate "
+            << fmt1(hit_rate * 100.0) << "%, resident "
+            << cache.residentBytes() << " B\n";
+
+  // ---- JSON record ----
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_ddt_pack.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"micro_ddt_pack\",\n"
+       << "  \"claim\": \"flatten cost and layout memory are "
+          "O(blocks-per-element) regardless of count (seed was linear in "
+          "count x blocks); a count sweep costs one flatten through the "
+          "layout cache\",\n"
+       << "  \"flatten_sweep\": [\n";
+  for (std::size_t i = 0; i < flatten_rows.size(); ++i) {
+    const FlattenRow& r = flatten_rows[i];
+    json << "    {\"workload\": \"" << r.workload << "\", \"count\": "
+         << r.count << ", \"blocks\": " << r.blocks << ", \"flatten_ns\": "
+         << r.flatten_ns << ", \"naive_flatten_ns\": " << r.naive_ns
+         << ", \"compressed_bytes\": " << r.compressed_bytes
+         << ", \"naive_bytes\": " << r.naive_bytes << ", \"groups\": "
+         << r.groups << "}" << (i + 1 < flatten_rows.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"pack_sweep\": [\n";
+  for (std::size_t i = 0; i < pack_rows.size(); ++i) {
+    const PackRow& r = pack_rows[i];
+    json << "    {\"workload\": \"" << r.workload << "\", \"count\": "
+         << r.count << ", \"payload_bytes\": " << r.bytes
+         << ", \"pack_ns_per_byte\": " << r.pack_ns_per_byte
+         << ", \"naive_pack_ns_per_byte\": " << r.naive_ns_per_byte << "}"
+         << (i + 1 < pack_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"cache_sweep\": {\"counts\": " << kSweepCounts
+       << ", \"lookups\": " << static_cast<std::size_t>(lookups)
+       << ", \"misses\": " << cc.misses << ", \"hits\": " << cc.hits
+       << ", \"derivations\": " << cc.derivations << ", \"hit_rate\": "
+       << hit_rate << ", \"resident_bytes\": " << cache.residentBytes()
+       << "}\n}\n";
+  std::cout << "\nrecord written to " << json_path << "\n";
+  return 0;
+}

@@ -224,7 +224,7 @@ TimeNs runVariant(Algorithm algo, schemes::Scheme scheme,
     const auto layout = ddt::flatten(columnType(), 1);
     for (int f = 0; f < kFields; ++f) {
       auto ghost = s.ghostColumn(0, f);
-      for (const auto& seg : layout.segments()) {
+      for (const auto& seg : layout.materialize()) {
         for (std::size_t i = 0; i < seg.len; i += 8) {
           double v;
           std::memcpy(&v, ghost.bytes.data() + seg.offset + i, 8);

@@ -63,7 +63,7 @@ int main() {
 
   // Verify every column byte arrived intact.
   const auto layout = ddt::flatten(coltype, 1);
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     if (std::memcmp(rmat.bytes.data() + seg.offset,
                     smat.bytes.data() + seg.offset, seg.len) != 0) {
       std::cerr << "FAILED: mismatch at offset " << seg.offset << "\n";

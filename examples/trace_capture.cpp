@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   // batches as spans, pending backlog as counter graphs.
   for (int r = 0; r < runtime.worldSize(); ++r) {
     runtime.proc(r).ddtEngine().setTracer(&tracer);
+    // Layout-cache residency/eviction counters, one series per rank.
+    runtime.proc(r).layoutCache().setTracer(
+        &tracer, &engine, "layout_cache.rank" + std::to_string(r));
   }
 
   const auto wl = workloads::specfem3dCm(64);

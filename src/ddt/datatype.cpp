@@ -74,9 +74,8 @@ DatatypePtr Datatype::contiguous(std::size_t count, DatatypePtr old) {
   auto t = std::shared_ptr<Datatype>(new Datatype());
   t->kind_ = Kind::Contiguous;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "contiguous(" << count << ", " << old->describe() << ")";
-  t->name_ = os.str();
+  t->desc_a_ = static_cast<std::int64_t>(count);
+  t->desc_old_ = old;
   if (count > 0) t->children_.push_back(Child{old, count, 0});
   t->size_ = count * old->size();
   t->lb_ = count > 0 ? old->lb() : 0;
@@ -97,10 +96,9 @@ DatatypePtr Datatype::hvector(std::size_t count, std::size_t blocklength,
   auto t = std::shared_ptr<Datatype>(new Datatype());
   t->kind_ = Kind::Hvector;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "hvector(" << count << ", " << blocklength << ", " << stride_bytes
-     << "B, " << old->describe() << ")";
-  t->name_ = os.str();
+  t->desc_a_ = stride_bytes;
+  t->desc_b_ = static_cast<std::int64_t>(blocklength);
+  t->desc_old_ = old;
   t->children_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     t->children_.push_back(
@@ -130,24 +128,26 @@ DatatypePtr Datatype::indexed(std::span<const std::size_t> blocklengths,
     byte_displs[i] =
         displacements[i] * static_cast<std::int64_t>(old->extent());
   }
-  auto t = hindexed(blocklengths, byte_displs, std::move(old));
-  // hindexed() tagged it; relabel for accurate introspection.
-  const_cast<Datatype&>(*t).kind_ = Kind::Indexed;
-  return t;
+  return hindexedAs(Kind::Indexed, blocklengths, byte_displs, std::move(old));
 }
 
 DatatypePtr Datatype::hindexed(std::span<const std::size_t> blocklengths,
                                std::span<const std::int64_t> displacement_bytes,
                                DatatypePtr old) {
+  return hindexedAs(Kind::Hindexed, blocklengths, displacement_bytes,
+                    std::move(old));
+}
+
+DatatypePtr Datatype::hindexedAs(Kind kind,
+                                 std::span<const std::size_t> blocklengths,
+                                 std::span<const std::int64_t> displacement_bytes,
+                                 DatatypePtr old) {
   DKF_CHECK(old != nullptr);
   DKF_CHECK(blocklengths.size() == displacement_bytes.size());
   auto t = std::shared_ptr<Datatype>(new Datatype());
-  t->kind_ = Kind::Hindexed;
+  t->kind_ = kind;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "hindexed(" << blocklengths.size() << " blocks, " << old->describe()
-     << ")";
-  t->name_ = os.str();
+  t->desc_old_ = old;
   t->children_.reserve(blocklengths.size());
   std::size_t total = 0;
   std::int64_t lo = 0, hi = 0;
@@ -169,10 +169,15 @@ DatatypePtr Datatype::hindexed(std::span<const std::size_t> blocklengths,
 DatatypePtr Datatype::indexedBlock(std::size_t blocklength,
                                    std::span<const std::int64_t> displacements,
                                    DatatypePtr old) {
+  DKF_CHECK(old != nullptr);
   std::vector<std::size_t> blocklengths(displacements.size(), blocklength);
-  auto t = indexed(blocklengths, displacements, std::move(old));
-  const_cast<Datatype&>(*t).kind_ = Kind::IndexedBlock;
-  return t;
+  std::vector<std::int64_t> byte_displs(displacements.size());
+  for (std::size_t i = 0; i < displacements.size(); ++i) {
+    byte_displs[i] =
+        displacements[i] * static_cast<std::int64_t>(old->extent());
+  }
+  return hindexedAs(Kind::IndexedBlock, blocklengths, byte_displs,
+                    std::move(old));
 }
 
 DatatypePtr Datatype::struct_(std::span<const std::size_t> blocklengths,
@@ -183,9 +188,6 @@ DatatypePtr Datatype::struct_(std::span<const std::size_t> blocklengths,
   auto t = std::shared_ptr<Datatype>(new Datatype());
   t->kind_ = Kind::Struct;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "struct(" << types.size() << " members)";
-  t->name_ = os.str();
   std::size_t total = 0;
   std::int64_t lo = 0, hi = 0;
   bool first = true;
@@ -232,9 +234,8 @@ DatatypePtr Datatype::subarray(std::span<const std::size_t> sizes,
   auto t = std::shared_ptr<Datatype>(new Datatype());
   t->kind_ = Kind::Subarray;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "subarray(" << ndims << "D, " << old->describe() << ")";
-  t->name_ = os.str();
+  t->desc_a_ = static_cast<std::int64_t>(ndims);
+  t->desc_old_ = old;
 
   // Row strides (in elements of `old`) for each dimension, C order.
   std::vector<std::size_t> stride(ndims, 1);
@@ -286,10 +287,7 @@ DatatypePtr Datatype::resized(std::int64_t lb, std::size_t extent,
   auto t = std::shared_ptr<Datatype>(new Datatype());
   t->kind_ = Kind::Resized;
   t->id_ = nextId();
-  std::ostringstream os;
-  os << "resized(lb=" << lb << ", extent=" << extent << ", " << old->describe()
-     << ")";
-  t->name_ = os.str();
+  t->desc_old_ = old;
   t->children_.push_back(Child{std::move(old), 1, 0});
   t->size_ = t->children_[0].type->size();
   t->lb_ = lb;
@@ -304,7 +302,38 @@ bool Datatype::isContiguousType() const {
 }
 
 std::string Datatype::describe() const {
-  return name_.empty() ? std::string("<anonymous>") : name_;
+  if (!name_.empty()) return name_;
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Primitive:
+      return "<anonymous>";
+    case Kind::Contiguous:
+      os << "contiguous(" << desc_a_ << ", " << desc_old_->describe() << ")";
+      break;
+    case Kind::Vector:
+    case Kind::Hvector:
+      os << "hvector(" << children_.size() << ", " << desc_b_ << ", "
+         << desc_a_ << "B, " << desc_old_->describe() << ")";
+      break;
+    case Kind::Indexed:
+    case Kind::Hindexed:
+    case Kind::IndexedBlock:
+      os << "hindexed(" << children_.size() << " blocks, "
+         << desc_old_->describe() << ")";
+      break;
+    case Kind::Struct:
+      os << "struct(" << children_.size() << " members)";
+      break;
+    case Kind::Subarray:
+      os << "subarray(" << desc_a_ << "D, " << desc_old_->describe() << ")";
+      break;
+    case Kind::Resized:
+      os << "resized(lb=" << lb_ << ", extent=" << extent_ << ", "
+         << desc_old_->describe() << ")";
+      break;
+  }
+  name_ = os.str();
+  return name_;
 }
 
 }  // namespace dkf::ddt

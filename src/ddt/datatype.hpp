@@ -90,7 +90,10 @@ class Datatype {
   std::size_t extent() const { return extent_; }
   /// True if the type describes one gap-free byte run.
   bool isContiguousType() const;
-  /// Human-readable description, e.g. "vector(16, 4, 32, double)".
+  /// Human-readable description, e.g. "hvector(16, 4, 32B, double)".
+  /// Computed on first use and cached: eager construction cost O(depth^2)
+  /// string work per nested constructor, which dominated type building for
+  /// deep trees.
   std::string describe() const;
 
   /// Visit every contiguous byte run of `count` elements of this type laid
@@ -121,11 +124,23 @@ class Datatype {
   std::int64_t lbOffsetFix() const { return 0; }
 
   static DatatypePtr makePrimitive(std::string name, std::size_t size);
+  /// Shared builder behind indexed()/hindexed()/indexedBlock(): identical
+  /// layout algebra, `kind` threaded through for accurate introspection.
+  static DatatypePtr hindexedAs(Kind kind,
+                                std::span<const std::size_t> blocklengths,
+                                std::span<const std::int64_t> displacement_bytes,
+                                DatatypePtr old);
   static std::uint64_t nextId();
 
   Kind kind_{Kind::Primitive};
   std::uint64_t id_{0};
-  std::string name_;
+  /// Cached describe() text: set eagerly for primitives (a fixed string),
+  /// built on demand for derived types from the describe parameters below.
+  mutable std::string name_;
+  // describe() parameters, meaning per kind (see describe()).
+  std::int64_t desc_a_{0};
+  std::int64_t desc_b_{0};
+  DatatypePtr desc_old_;
   std::size_t size_{0};
   std::int64_t lb_{0};
   std::size_t extent_{0};

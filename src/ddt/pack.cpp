@@ -7,20 +7,26 @@
 
 namespace dkf::ddt {
 
+// The hot paths iterate the compressed form directly — group x run x memcpy
+// loop nests with no materialized segment list, so a bulk-sparse request
+// (thousands of runs x hundreds of elements) moves bytes with O(groups)
+// bookkeeping instead of O(total runs) cache-hostile pointer chasing.
+
 std::size_t packCpu(const Layout& layout, std::span<const std::byte> origin,
                     std::span<std::byte> packed) {
   DKF_CHECK_MSG(packed.size() >= layout.size(),
                 "packed buffer too small: " << packed.size() << " < "
                                             << layout.size());
   std::size_t out = 0;
-  for (const Segment& s : layout.segments()) {
-    DKF_CHECK_MSG(s.offset >= 0, "negative segment offset " << s.offset);
-    DKF_CHECK_MSG(static_cast<std::size_t>(s.offset) + s.len <= origin.size(),
-                  "segment [" << s.offset << ", " << s.offset + static_cast<std::int64_t>(s.len)
+  layout.forEachRun([&](std::int64_t offset, std::size_t len) {
+    DKF_CHECK_MSG(offset >= 0, "negative segment offset " << offset);
+    DKF_CHECK_MSG(static_cast<std::size_t>(offset) + len <= origin.size(),
+                  "segment [" << offset << ", "
+                              << offset + static_cast<std::int64_t>(len)
                               << ") exceeds origin size " << origin.size());
-    std::memcpy(packed.data() + out, origin.data() + s.offset, s.len);
-    out += s.len;
-  }
+    std::memcpy(packed.data() + out, origin.data() + offset, len);
+    out += len;
+  });
   return out;
 }
 
@@ -30,13 +36,13 @@ std::size_t unpackCpu(const Layout& layout, std::span<const std::byte> packed,
                 "packed buffer too small: " << packed.size() << " < "
                                             << layout.size());
   std::size_t in = 0;
-  for (const Segment& s : layout.segments()) {
-    DKF_CHECK_MSG(s.offset >= 0, "negative segment offset " << s.offset);
-    DKF_CHECK_MSG(static_cast<std::size_t>(s.offset) + s.len <= origin.size(),
+  layout.forEachRun([&](std::int64_t offset, std::size_t len) {
+    DKF_CHECK_MSG(offset >= 0, "negative segment offset " << offset);
+    DKF_CHECK_MSG(static_cast<std::size_t>(offset) + len <= origin.size(),
                   "segment exceeds origin buffer");
-    std::memcpy(origin.data() + s.offset, packed.data() + in, s.len);
-    in += s.len;
-  }
+    std::memcpy(origin.data() + offset, packed.data() + in, len);
+    in += len;
+  });
   return in;
 }
 
@@ -46,28 +52,28 @@ std::size_t copyStrided(const Layout& src_layout,
   DKF_CHECK_MSG(src_layout.size() == dst_layout.size(),
                 "strided copy size mismatch: " << src_layout.size() << " vs "
                                                << dst_layout.size());
-  // Walk both segment lists in lockstep, splitting runs on the shorter side.
-  auto si = src_layout.segments().begin();
-  auto di = dst_layout.segments().begin();
+  // Walk both compressed layouts in lockstep — two O(1)-state group cursors,
+  // splitting runs on the shorter side; neither segment list exists.
+  auto si = src_layout.runs();
+  auto di = dst_layout.runs();
   std::size_t s_used = 0, d_used = 0, total = 0;
-  while (si != src_layout.segments().end() &&
-         di != dst_layout.segments().end()) {
-    const std::size_t chunk = std::min(si->len - s_used, di->len - d_used);
-    const auto s_off = static_cast<std::size_t>(si->offset) + s_used;
-    const auto d_off = static_cast<std::size_t>(di->offset) + d_used;
-    DKF_CHECK(si->offset >= 0 && di->offset >= 0);
+  while (!si.done() && !di.done()) {
+    const std::size_t chunk = std::min(si.len() - s_used, di.len() - d_used);
+    DKF_CHECK(si.offset() >= 0 && di.offset() >= 0);
+    const auto s_off = static_cast<std::size_t>(si.offset()) + s_used;
+    const auto d_off = static_cast<std::size_t>(di.offset()) + d_used;
     DKF_CHECK(s_off + chunk <= src.size());
     DKF_CHECK(d_off + chunk <= dst.size());
     std::memcpy(dst.data() + d_off, src.data() + s_off, chunk);
     s_used += chunk;
     d_used += chunk;
     total += chunk;
-    if (s_used == si->len) {
-      ++si;
+    if (s_used == si.len()) {
+      si.next();
       s_used = 0;
     }
-    if (d_used == di->len) {
-      ++di;
+    if (d_used == di.len()) {
+      di.next();
       d_used = 0;
     }
   }

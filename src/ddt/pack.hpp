@@ -1,4 +1,4 @@
-// Bit-exact reference pack/unpack over flattened layouts.
+// Bit-exact reference pack/unpack over compressed canonical layouts.
 //
 // These host-side routines are the semantic ground truth for every scheme in
 // the simulator: the GPU pack kernels, the GDRCopy hybrid path, DirectIPC,
@@ -13,7 +13,7 @@
 
 namespace dkf::ddt {
 
-/// Gather: copy every layout segment of `origin` into `packed` back-to-back.
+/// Gather: copy every layout run of `origin` into `packed` back-to-back.
 /// `origin` must cover [minOffset, endOffset) of the layout; `packed` must
 /// hold at least layout.size() bytes. Returns the number of bytes packed.
 std::size_t packCpu(const Layout& layout, std::span<const std::byte> origin,

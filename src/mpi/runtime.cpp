@@ -13,7 +13,8 @@ Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
     : rt_(&rt),
       rank_(rank),
       gpu_(&gpu),
-      cpu_(std::make_unique<sim::CpuTimeline>(rt.engine())) {
+      cpu_(std::make_unique<sim::CpuTimeline>(rt.engine())),
+      layout_cache_(rt.config().layout_cache) {
   core::FusionPolicy tuned;
   const RuntimeConfig& cfg = rt.config();
   if (cfg.tuned_threshold > 0) tuned.threshold_bytes = cfg.tuned_threshold;

@@ -73,6 +73,8 @@ struct RuntimeConfig {
   DurationNs call_overhead{ns(150)};
   /// Retransmission layer (see ReliabilityConfig).
   ReliabilityConfig reliability{};
+  /// Per-rank layout-cache budget (entries/bytes; 0 = unbounded).
+  ddt::LayoutCacheLimits layout_cache{};
 };
 
 class Runtime;

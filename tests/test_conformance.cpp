@@ -123,7 +123,7 @@ void runConformance(const RunSpec& rs) {
   std::vector<std::byte> expect(region);
   auto verify = [&](const gpu::MemSpan& recv, const gpu::MemSpan& send) {
     std::memset(expect.data(), 0xAA, region);
-    for (const auto& seg : layout.segments()) {
+    for (const auto& seg : layout.materialize()) {
       std::memcpy(expect.data() + seg.offset, send.bytes.data() + seg.offset,
                   seg.len);
     }

@@ -59,8 +59,8 @@ TEST(Vector, ClassicStridedColumns) {
   auto layout = flatten(col, 1);
   ASSERT_EQ(layout.blockCount(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(layout.segments()[i].offset, static_cast<std::int64_t>(i * 64));
-    EXPECT_EQ(layout.segments()[i].len, 8u);
+    EXPECT_EQ(layout.materialize()[i].offset, static_cast<std::int64_t>(i * 64));
+    EXPECT_EQ(layout.materialize()[i].len, 8u);
   }
 }
 
@@ -78,17 +78,17 @@ TEST(Vector, MultipleCountsSpacedByExtent) {
   auto layout = flatten(t, 2);
   // Element 0: offsets {0, 4}; element 1 at +5: {5, 9} -> {4,5} coalesce.
   ASSERT_EQ(layout.blockCount(), 3u);
-  EXPECT_EQ(layout.segments()[0], (Segment{0, 1}));
-  EXPECT_EQ(layout.segments()[1], (Segment{4, 2}));
-  EXPECT_EQ(layout.segments()[2], (Segment{9, 1}));
+  EXPECT_EQ(layout.materialize()[0], (Segment{0, 1}));
+  EXPECT_EQ(layout.materialize()[1], (Segment{4, 2}));
+  EXPECT_EQ(layout.materialize()[2], (Segment{9, 1}));
 }
 
 TEST(Hvector, ByteStride) {
   auto t = Datatype::hvector(3, 2, 32, Datatype::float64());
   auto layout = flatten(t, 1);
   ASSERT_EQ(layout.blockCount(), 3u);
-  EXPECT_EQ(layout.segments()[1].offset, 32);
-  EXPECT_EQ(layout.segments()[1].len, 16u);
+  EXPECT_EQ(layout.materialize()[1].offset, 32);
+  EXPECT_EQ(layout.materialize()[1].len, 16u);
   EXPECT_EQ(t->size(), 48u);
   EXPECT_EQ(t->extent(), 2u * 32u + 16u);
 }
@@ -101,9 +101,9 @@ TEST(Indexed, IrregularBlocks) {
   EXPECT_EQ(t->extent(), (9u + 3u) * 4u);
   auto layout = flatten(t, 1);
   ASSERT_EQ(layout.blockCount(), 3u);
-  EXPECT_EQ(layout.segments()[0], (Segment{0, 8}));
-  EXPECT_EQ(layout.segments()[1], (Segment{20, 4}));
-  EXPECT_EQ(layout.segments()[2], (Segment{36, 12}));
+  EXPECT_EQ(layout.materialize()[0], (Segment{0, 8}));
+  EXPECT_EQ(layout.materialize()[1], (Segment{20, 4}));
+  EXPECT_EQ(layout.materialize()[2], (Segment{36, 12}));
 }
 
 TEST(Indexed, AdjacentBlocksCoalesce) {
@@ -121,7 +121,7 @@ TEST(Hindexed, ByteDisplacements) {
   auto t = Datatype::hindexed(lens, displs, Datatype::float64());
   auto layout = flatten(t, 1);
   ASSERT_EQ(layout.blockCount(), 2u);
-  EXPECT_EQ(layout.segments()[1].offset, 100);
+  EXPECT_EQ(layout.materialize()[1].offset, 100);
   EXPECT_EQ(t->extent(), 108u);
 }
 
@@ -132,7 +132,7 @@ TEST(IndexedBlock, UniformBlocks) {
   auto layout = flatten(t, 1);
   // Blocks of 2 ints at 0,4,8,12 ints: [0,8),[16,24),[32,40),[48,56).
   ASSERT_EQ(layout.blockCount(), 4u);
-  EXPECT_EQ(layout.segments()[3], (Segment{48, 8}));
+  EXPECT_EQ(layout.materialize()[3], (Segment{48, 8}));
 }
 
 TEST(Struct, MixedMemberTypes) {
@@ -154,7 +154,7 @@ TEST(Struct, MixedMemberTypes) {
   EXPECT_FALSE(t2->isContiguousType());
   auto layout = flatten(t2, 1);
   ASSERT_EQ(layout.blockCount(), 2u);
-  EXPECT_EQ(layout.segments()[1], (Segment{12, 8}));
+  EXPECT_EQ(layout.materialize()[1], (Segment{12, 8}));
 }
 
 TEST(Struct, OnIndexedNests) {
@@ -170,8 +170,8 @@ TEST(Struct, OnIndexedNests) {
   // inner extent = 16 bytes; two copies give runs at {0,12} and {16,28};
   // the runs at 12 and 16 are adjacent and coalesce.
   ASSERT_EQ(layout.blockCount(), 3u);
-  EXPECT_EQ(layout.segments()[1], (Segment{12, 8}));
-  EXPECT_EQ(layout.segments()[2], (Segment{28, 4}));
+  EXPECT_EQ(layout.materialize()[1], (Segment{12, 8}));
+  EXPECT_EQ(layout.materialize()[2], (Segment{28, 4}));
 }
 
 TEST(Subarray, TwoDimensionalCOrder) {
@@ -185,8 +185,8 @@ TEST(Subarray, TwoDimensionalCOrder) {
   EXPECT_EQ(t->extent(), 24u * 8u);
   auto layout = flatten(t, 1);
   ASSERT_EQ(layout.blockCount(), 2u);
-  EXPECT_EQ(layout.segments()[0], (Segment{(1 * 6 + 2) * 8, 24u}));
-  EXPECT_EQ(layout.segments()[1], (Segment{(2 * 6 + 2) * 8, 24u}));
+  EXPECT_EQ(layout.materialize()[0], (Segment{(1 * 6 + 2) * 8, 24u}));
+  EXPECT_EQ(layout.materialize()[1], (Segment{(2 * 6 + 2) * 8, 24u}));
 }
 
 TEST(Subarray, FortranOrderMatchesTransposedC) {
@@ -200,7 +200,7 @@ TEST(Subarray, FortranOrderMatchesTransposedC) {
   const std::array<std::size_t, 2> cstarts{1, 2};
   auto c = Datatype::subarray(csizes, csub, cstarts, Datatype::Order::C,
                               Datatype::float64());
-  EXPECT_EQ(flatten(f, 1).segments(), flatten(c, 1).segments());
+  EXPECT_EQ(flatten(f, 1).materialize(), flatten(c, 1).materialize());
 }
 
 TEST(Subarray, FullSubarrayIsContiguous) {
@@ -227,8 +227,8 @@ TEST(Resized, OverridesExtent) {
   EXPECT_EQ(t->extent(), 64u);
   auto layout = flatten(t, 3);
   ASSERT_EQ(layout.blockCount(), 3u);
-  EXPECT_EQ(layout.segments()[1].offset, 64);
-  EXPECT_EQ(layout.segments()[2].offset, 128);
+  EXPECT_EQ(layout.materialize()[1].offset, 64);
+  EXPECT_EQ(layout.materialize()[2].offset, 128);
 }
 
 TEST(NestedVector, MilcLikeShape) {
@@ -267,18 +267,81 @@ TEST(LayoutCache, HitsAndMisses) {
   LayoutCache cache;
   auto t = Datatype::vector(8, 2, 4, Datatype::float64());
   auto a = cache.get(t, 10);
-  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);  // element form flattened once
   EXPECT_EQ(cache.hits(), 0u);
   auto b = cache.get(t, 10);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(a.get(), b.get());  // shared entry
-  auto c = cache.get(t, 11);    // different count -> different entry
-  EXPECT_EQ(cache.misses(), 2u);
+  // A different count is NOT a second flatten: the cached element form is
+  // re-derived in O(groups), which counts as a hit.
+  auto c = cache.get(t, 11);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  // Only count=11 is a derivation *from the cached form*; count=10 rode the
+  // miss that created the form.
+  EXPECT_EQ(cache.counters().derivations, 1u);
   EXPECT_NE(a.get(), c.get());
-  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.entries(), 2u);  // the two derived (type, count) layouts
+  EXPECT_EQ(cache.elementForms(), 1u);
+  EXPECT_GT(cache.residentBytes(), 0u);
   cache.clear();
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.residentBytes(), 0u);
+}
+
+TEST(LayoutCache, LruEvictionRespectsEntryBudget) {
+  LayoutCacheLimits limits;
+  limits.max_entries = 4;
+  LayoutCache cache(limits);
+  auto t1 = Datatype::vector(4, 1, 2, Datatype::float64());
+  auto t2 = Datatype::vector(5, 1, 2, Datatype::float64());
+  auto t3 = Datatype::vector(6, 1, 2, Datatype::float64());
+  cache.get(t1, 2);  // resident: t1-elem, t1@2
+  cache.get(t2, 2);  // + t2-elem, t2@2 = 4 total
+  EXPECT_EQ(cache.entries() + cache.elementForms(), 4u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.get(t3, 2);  // 2 inserts -> 2 evictions of the LRU (t1) entries
+  EXPECT_EQ(cache.entries() + cache.elementForms(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // t1 was evicted: fetching it again re-flattens (a fresh miss).
+  const auto misses_before = cache.misses();
+  cache.get(t1, 2);
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(LayoutCache, ByteBudgetBoundsResidency) {
+  LayoutCacheLimits limits;
+  limits.max_bytes = 2048;
+  LayoutCache cache(limits);
+  for (std::size_t n = 1; n <= 32; ++n) {
+    std::vector<std::int64_t> displs(2 * n);
+    for (std::size_t i = 0; i < displs.size(); ++i) {
+      displs[i] = static_cast<std::int64_t>(3 * i);
+    }
+    auto t = Datatype::indexedBlock(1, displs, Datatype::float64());
+    cache.get(t, 4);
+  }
+  EXPECT_LE(cache.residentBytes(), 2048u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(LayoutCache, CountSweepIsOneFlatten) {
+  // The headline property: sweeping count over one type costs ONE flatten
+  // total; every other lookup is served from the cached element form.
+  LayoutCache cache;
+  auto t = Datatype::vector(16, 2, 4, Datatype::float64());
+  std::size_t lookups = 0;
+  for (std::size_t count = 1; count <= 512; ++count) {
+    auto l = cache.get(t, count);
+    EXPECT_EQ(l->size(), count * 16u * 2u * 8u);
+    ++lookups;
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), lookups - 1);
+  const double hit_rate = static_cast<double>(cache.hits()) /
+                          static_cast<double>(cache.hits() + cache.misses());
+  EXPECT_GE(hit_rate, 0.99);
 }
 
 TEST(Describe, MentionsShape) {

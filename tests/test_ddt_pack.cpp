@@ -174,7 +174,7 @@ TEST_P(PackRoundTrip, PackUnpackIsIdentityOnLayoutBytes) {
     ASSERT_EQ(packCpu(layout, origin, packed), layout.size());
 
     // Clear the layout bytes, then unpack: origin must be fully restored.
-    for (const Segment& s : layout.segments()) {
+    for (const Segment& s : layout.materialize()) {
       std::memset(origin.data() + s.offset, 0xA5, s.len);
     }
     ASSERT_EQ(unpackCpu(layout, packed, origin), layout.size());
@@ -192,7 +192,7 @@ TEST_P(PackRoundTrip, PackedBytesMatchSegmentWalk) {
   std::vector<std::byte> packed(layout.size());
   packCpu(layout, origin, packed);
   std::size_t pos = 0;
-  for (const Segment& s : layout.segments()) {
+  for (const Segment& s : layout.materialize()) {
     for (std::size_t i = 0; i < s.len; ++i, ++pos) {
       ASSERT_EQ(packed[pos], origin[static_cast<std::size_t>(s.offset) + i]);
     }

@@ -88,7 +88,7 @@ TEST_P(TypeLaw, CountedFlattenIsShiftedUnion) {
   const auto extent = static_cast<std::int64_t>(type()->extent());
 
   auto covered = [](const Layout& l, std::int64_t off) {
-    for (const auto& seg : l.segments()) {
+    for (const auto& seg : l.materialize()) {
       if (off >= seg.offset &&
           off < seg.offset + static_cast<std::int64_t>(seg.len)) {
         return true;
@@ -96,7 +96,7 @@ TEST_P(TypeLaw, CountedFlattenIsShiftedUnion) {
     }
     return false;
   };
-  for (const auto& seg : one.segments()) {
+  for (const auto& seg : one.materialize()) {
     for (std::int64_t o = seg.offset;
          o < seg.offset + static_cast<std::int64_t>(seg.len); ++o) {
       EXPECT_TRUE(covered(two, o)) << name() << " offset " << o;
@@ -108,7 +108,7 @@ TEST_P(TypeLaw, CountedFlattenIsShiftedUnion) {
 
 TEST_P(TypeLaw, SegmentsSortedDisjointCoalesced) {
   const auto layout = flatten(type(), 3);
-  const auto& segs = layout.segments();
+  const auto& segs = layout.materialize();
   for (std::size_t i = 1; i < segs.size(); ++i) {
     // Strictly increasing with a gap (adjacent runs must have merged).
     EXPECT_GT(segs[i].offset,
@@ -121,7 +121,7 @@ TEST_P(TypeLaw, SegmentsSortedDisjointCoalesced) {
 TEST_P(TypeLaw, ContiguousWrapPreservesLayout) {
   // contiguous(1, T) flattens identically to T.
   const auto wrapped = Datatype::contiguous(1, type());
-  EXPECT_EQ(flatten(wrapped, 1).segments(), flatten(type(), 1).segments())
+  EXPECT_EQ(flatten(wrapped, 1).materialize(), flatten(type(), 1).materialize())
       << name();
   EXPECT_EQ(wrapped->size(), type()->size());
 }
@@ -129,7 +129,7 @@ TEST_P(TypeLaw, ContiguousWrapPreservesLayout) {
 TEST_P(TypeLaw, VectorOfOneEqualsCountedFlatten) {
   // vector(n, 1, 1, T) == n back-to-back copies of T.
   const auto vec = Datatype::vector(3, 1, 1, type());
-  EXPECT_EQ(flatten(vec, 1).segments(), flatten(type(), 3).segments())
+  EXPECT_EQ(flatten(vec, 1).materialize(), flatten(type(), 3).materialize())
       << name();
 }
 

@@ -238,7 +238,7 @@ struct FaultedWorld {
 
     const auto layout = ddt::flatten(wl.type, wl.count);
     std::vector<std::byte> expect(region, std::byte{0xAA});
-    for (const auto& seg : layout.segments()) {
+    for (const auto& seg : layout.materialize()) {
       std::memcpy(expect.data() + seg.offset, sbuf.bytes.data() + seg.offset,
                   seg.len);
     }

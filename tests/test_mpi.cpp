@@ -151,7 +151,7 @@ TEST_P(SchemeTransfer, SparseIndexedExchangeInterNode) {
   w.eng.run();
 
   const auto layout = ddt::flatten(type, 1);
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     ASSERT_EQ(std::memcmp(rbuf.bytes.data() + seg.offset,
                           sbuf.bytes.data() + seg.offset, seg.len),
               0);
@@ -198,7 +198,7 @@ TEST(DirectIpc, IntraNodeStridedExchangeSkipsPacking) {
   w.eng.run();
 
   const auto layout = ddt::flatten(type, 1);
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     ASSERT_EQ(std::memcmp(rbuf.bytes.data() + seg.offset,
                           sbuf.bytes.data() + seg.offset, seg.len),
               0);
@@ -298,7 +298,7 @@ TEST(ExplicitPack, PackThenUnpackRoundTrips) {
   }(p, origin, packed, restored, type));
   w.eng.run();
 
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     ASSERT_EQ(std::memcmp(restored.bytes.data() + seg.offset,
                           origin.bytes.data() + seg.offset, seg.len),
               0);
@@ -400,7 +400,7 @@ TEST(BulkExchange, SixteenBuffersEachWayWithFusion) {
   for (int side = 0; side < 2; ++side) {
     const int other = 1 - side;
     for (int i = 0; i < kBuffers; ++i) {
-      for (const auto& seg : layout.segments()) {
+      for (const auto& seg : layout.materialize()) {
         ASSERT_EQ(std::memcmp(
                       bufs[side].recv[i].bytes.data() + seg.offset,
                       bufs[other].send[i].bytes.data() + seg.offset, seg.len),

@@ -128,7 +128,7 @@ TEST_P(MpiFuzz, RandomTrafficDeliversExactly) {
   // Oracle: receiver's layout bytes must equal the sender's.
   for (const auto& m : msgs) {
     const auto layout = ddt::flatten(m.type, 1);
-    for (const auto& seg : layout.segments()) {
+    for (const auto& seg : layout.materialize()) {
       ASSERT_EQ(std::memcmp(m.rbuf.bytes.data() + seg.offset,
                             m.sbuf.bytes.data() + seg.offset, seg.len),
                 0)

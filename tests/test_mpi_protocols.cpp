@@ -168,7 +168,7 @@ TEST(Rput, DerivedTypeRendezvousBothDirections) {
   ASSERT_EQ(w.eng.unfinishedTasks(), 0u);
 
   const auto layout = ddt::flatten(type, 1);
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     ASSERT_EQ(std::memcmp(r4.bytes.data() + seg.offset,
                           s0.bytes.data() + seg.offset, seg.len),
               0);
@@ -203,7 +203,7 @@ TEST(DirectIpcFallback, EngineWithoutDirectUsesPackPath) {
   w.eng.run();
 
   const auto layout = ddt::flatten(type, 1);
-  for (const auto& seg : layout.segments()) {
+  for (const auto& seg : layout.materialize()) {
     ASSERT_EQ(std::memcmp(rbuf.bytes.data() + seg.offset,
                           sbuf.bytes.data() + seg.offset, seg.len),
               0);

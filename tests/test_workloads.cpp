@@ -21,7 +21,7 @@ TEST(Specfem3dOc, SparseThousandsOfTinyBlocks) {
 TEST(Specfem3dOc, DeterministicAcrossCalls) {
   const auto a = ddt::flatten(specfem3dOc(32).type, 1);
   const auto b = ddt::flatten(specfem3dOc(32).type, 1);
-  EXPECT_EQ(a.segments(), b.segments());
+  EXPECT_EQ(a.materialize(), b.materialize());
 }
 
 TEST(Specfem3dCm, StructOnIndexedTriplesTheBlocks) {
@@ -122,7 +122,7 @@ TEST(Halo3d, FaceTypesCoverExactlyOneShell) {
     EXPECT_LE(static_cast<std::size_t>(recv.endOffset()),
               total * total * total * 8);
     // Send (owned layer) and recv (ghost layer) must not overlap.
-    EXPECT_NE(send.segments(), recv.segments());
+    EXPECT_NE(send.materialize(), recv.materialize());
   }
 }
 
