@@ -41,7 +41,7 @@ GenResult measureOnce(const hw::GpuSpec& gpu_spec,
   op.layout = layout;
   op.src = origin.bytes;
   op.dst = packed.bytes;
-  const auto handle = gpu.launchKernel(0, {op});
+  const auto handle = gpu.launchKernel(0, std::move(op));
   eng.run();
   return GenResult{handle.end - handle.start,
                    gpu_spec.kernel_launch_overhead};

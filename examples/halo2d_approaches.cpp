@@ -151,7 +151,7 @@ sim::Task<void> algorithm2(mpi::Proc& p, Setup& s, TimeNs& out) {
     op.src = s.ownColumn(p.rank(), f).bytes;
     op.dst = packed_s[f].bytes;
     co_await p.cpu().busy(gpu.spec().kernel_launch_overhead);
-    const auto h = gpu.launchKernel(stream, {std::move(op)});
+    const auto h = gpu.launchKernel(stream, std::move(op));
     pack_done = h.end;
   }
   co_await p.cpu().holdUntil(pack_done);  // Synchronize_TO_GPU()
@@ -173,7 +173,7 @@ sim::Task<void> algorithm2(mpi::Proc& p, Setup& s, TimeNs& out) {
     op.src = packed_r[f].bytes;
     op.dst = s.ghostColumn(p.rank(), f).bytes;
     co_await p.cpu().busy(gpu.spec().kernel_launch_overhead);
-    const auto h = gpu.launchKernel(stream, {std::move(op)});
+    const auto h = gpu.launchKernel(stream, std::move(op));
     unpack_done = h.end;
   }
   co_await p.cpu().holdUntil(unpack_done);  // Synchronize_TO_GPU()

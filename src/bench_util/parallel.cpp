@@ -1,0 +1,76 @@
+#include "bench_util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dkf::bench {
+
+namespace {
+
+std::atomic<unsigned> g_thread_override{0};
+
+unsigned envThreads() {
+  static const unsigned cached = [] {
+    if (const char* env = std::getenv("DKF_SWEEP_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+unsigned sweepThreadCount() {
+  if (const unsigned n = g_thread_override.load(std::memory_order_relaxed)) {
+    return n;
+  }
+  if (const unsigned n = envThreads()) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+unsigned setSweepThreads(unsigned n) {
+  return g_thread_override.exchange(n, std::memory_order_relaxed);
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::size_t>(sweepThreadCount(), n));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dkf::bench

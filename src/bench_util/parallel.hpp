@@ -1,0 +1,38 @@
+// Parallel deterministic sweep runner.
+//
+// Figure benches evaluate grids of mutually independent simulation cells —
+// (machine, scheme, workload, iteration) tuples where every cell builds its
+// own sim::Engine and hw::Cluster. Cells therefore parallelize trivially:
+// `parallelFor` fans indices out over a std::thread pool and the caller
+// writes each cell's result into pre-sized per-index storage, so the merged
+// output (tables, JSON) is byte-identical to a serial loop regardless of
+// completion order.
+//
+// Determinism contract: a cell must not touch shared mutable state. Each
+// cell constructs its own engine/cluster/runtime (runBulkExchange already
+// does), and workloads are built *inside* the cell — composite ddt types
+// lazily cache their description string, so sharing one Workload across
+// threads would race on that cache.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dkf::bench {
+
+/// Worker threads a sweep uses. Precedence: setSweepThreads() override,
+/// then the DKF_SWEEP_THREADS environment variable, then hardware
+/// concurrency. Always >= 1.
+unsigned sweepThreadCount();
+
+/// Force the sweep thread count (0 = back to automatic). Returns the
+/// previous override. Tests use this to compare serial vs parallel output.
+unsigned setSweepThreads(unsigned n);
+
+/// Run fn(0), ..., fn(n-1), each exactly once, across sweepThreadCount()
+/// workers (inline when that is 1 or n <= 1). Blocks until all cells
+/// finish; the first exception thrown by any cell is rethrown after the
+/// pool joins.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace dkf::bench

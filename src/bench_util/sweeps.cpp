@@ -4,6 +4,7 @@
 #include <limits>
 #include <ostream>
 
+#include "bench_util/parallel.hpp"
 #include "bench_util/table.hpp"
 #include "core/threshold_model.hpp"
 
@@ -71,17 +72,28 @@ void schemeSweepTable(
     const std::vector<std::size_t>& dims,
     const std::vector<schemes::Scheme>& scheme_list, int n_ops,
     int iterations, int warmup) {
+  // Every (dim, scheme) cell is an independent simulation: fan the grid
+  // out over the sweep pool, then merge in index order so the table is
+  // byte-identical to the serial sweep. The workload is rebuilt inside
+  // each cell — cells share no mutable state.
+  const std::size_t n_schemes = scheme_list.size();
+  std::vector<double> lat(dims.size() * n_schemes);
+  parallelFor(lat.size(), [&](std::size_t cell) {
+    const std::size_t d = cell / n_schemes;
+    const std::size_t s = cell % n_schemes;
+    const auto wl = make_workload(dims[d]);
+    lat[cell] = runOne(machine, scheme_list[s], wl, n_ops, iterations, warmup);
+  });
+
   Table table(headersFor("dim (packed size)", scheme_list));
-  for (const auto dim : dims) {
-    const auto wl = make_workload(dim);
-    std::vector<double> lat(scheme_list.size());
-    for (std::size_t i = 0; i < scheme_list.size(); ++i) {
-      lat[i] = runOne(machine, scheme_list[i], wl, n_ops, iterations, warmup);
-    }
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const auto wl = make_workload(dims[d]);
     addSweepRow(table,
-                std::to_string(dim) + " (" + formatBytes(wl.packedBytes()) +
-                    ")",
-                scheme_list, lat);
+                std::to_string(dims[d]) + " (" +
+                    formatBytes(wl.packedBytes()) + ")",
+                scheme_list,
+                {lat.begin() + static_cast<std::ptrdiff_t>(d * n_schemes),
+                 lat.begin() + static_cast<std::ptrdiff_t>((d + 1) * n_schemes)});
   }
   table.print(os);
 }
@@ -91,14 +103,25 @@ void neighborSweepTable(std::ostream& os, const hw::MachineSpec& machine,
                         const std::vector<int>& neighbor_counts,
                         const std::vector<schemes::Scheme>& scheme_list,
                         int iterations, int warmup) {
+  // The workload is shared across cells: eagerly populate the lazily
+  // cached datatype description so concurrent cells only read it.
+  workload.type->describe();
+
+  const std::size_t n_schemes = scheme_list.size();
+  std::vector<double> lat(neighbor_counts.size() * n_schemes);
+  parallelFor(lat.size(), [&](std::size_t cell) {
+    const std::size_t r = cell / n_schemes;
+    const std::size_t s = cell % n_schemes;
+    lat[cell] = runOne(machine, scheme_list[s], workload,
+                       neighbor_counts[r], iterations, warmup);
+  });
+
   Table table(headersFor("#buffers", scheme_list));
-  for (const int n : neighbor_counts) {
-    std::vector<double> lat(scheme_list.size());
-    for (std::size_t i = 0; i < scheme_list.size(); ++i) {
-      lat[i] =
-          runOne(machine, scheme_list[i], workload, n, iterations, warmup);
-    }
-    addSweepRow(table, std::to_string(n), scheme_list, lat);
+  for (std::size_t r = 0; r < neighbor_counts.size(); ++r) {
+    addSweepRow(table, std::to_string(neighbor_counts[r]), scheme_list,
+                {lat.begin() + static_cast<std::ptrdiff_t>(r * n_schemes),
+                 lat.begin() +
+                     static_cast<std::ptrdiff_t>((r + 1) * n_schemes)});
   }
   table.print(os);
 }

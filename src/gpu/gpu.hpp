@@ -23,7 +23,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -42,7 +41,9 @@ class Gpu {
   using StreamId = std::size_t;
   using EventId = std::size_t;
 
-  /// One work item inside a (possibly fused) kernel.
+  /// One work item inside a (possibly fused) kernel. Move-only: the
+  /// completion hook is an inline callback handed to exactly one
+  /// completion event.
   struct Op {
     enum class Kind { Pack, Unpack, StridedCopy };
 
@@ -51,9 +52,22 @@ class Gpu {
     ddt::LayoutPtr dst_layout;   ///< StridedCopy only: destination layout
     std::span<const std::byte> src{};
     std::span<std::byte> dst{};
-    std::function<void()> on_complete{};  ///< fired at op completion time
+    sim::SmallCallback on_complete{};  ///< fired at op completion time
 
     std::size_t bytes() const { return layout ? layout->size() : 0; }
+
+    /// Explicit copy for launch-retry loops. The completion hook is
+    /// move-only and not duplicated — callers that retry must re-attach
+    /// it (the single-op schemes pass none).
+    Op clone() const {
+      Op c;
+      c.kind = kind;
+      c.layout = layout;
+      c.dst_layout = dst_layout;
+      c.src = src;
+      c.dst = dst;
+      return c;
+    }
   };
 
   struct KernelHandle {
@@ -88,6 +102,14 @@ class Gpu {
   /// Queue a kernel of `ops` on stream `s`. GPU-side only; callers charge
   /// spec().kernel_launch_overhead to their own CPU timeline.
   KernelHandle launchKernel(StreamId s, std::vector<Op> ops);
+
+  /// Single-op convenience (ops are move-only, so brace-list construction
+  /// of the vector is unavailable).
+  KernelHandle launchKernel(StreamId s, Op op) {
+    std::vector<Op> ops;
+    ops.push_back(std::move(op));
+    return launchKernel(s, std::move(ops));
+  }
 
   /// Queue an async contiguous copy on stream `s`; routed over the right
   /// path (HBM, CPU-GPU link, or GPU-GPU peer link) with per-path

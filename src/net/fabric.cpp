@@ -77,7 +77,7 @@ void Fabric::traceDrop(int src_node, int dst_node, const char* what) {
 }
 
 TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
-                        gpu::MemSpan dst, std::function<void()> on_delivered) {
+                        gpu::MemSpan dst, Fabric::Callback on_delivered) {
   DKF_CHECK_MSG(dst.size() >= payload.size(),
                 "fabric destination too small: " << dst.size() << " < "
                                                  << payload.size());
@@ -104,7 +104,7 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
 }
 
 TimeNs Fabric::sendControl(int src_node, int dst_node,
-                           std::function<void()> on_delivered) {
+                           Fabric::Callback on_delivered) {
   Link& link = linkBetween(src_node, dst_node);
   bool down = false;
   const double eff_cap = degradedCap(0.0, link, down);
@@ -124,7 +124,7 @@ TimeNs Fabric::sendControl(int src_node, int dst_node,
 
 TimeNs Fabric::sendMessage(
     int src_node, int dst_node, gpu::MemSpan payload,
-    std::function<void(std::vector<std::byte>)> on_delivered) {
+    Fabric::MessageCallback on_delivered) {
   Link& link = linkBetween(src_node, dst_node);
   const double cap = src_node == dst_node
                          ? 0.0
@@ -148,8 +148,8 @@ TimeNs Fabric::sendMessage(
 }
 
 TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
-                        gpu::MemSpan dst, std::function<void()> on_done,
-                        std::function<bool()> still_wanted) {
+                        gpu::MemSpan dst, Fabric::Callback on_done,
+                        Fabric::Predicate still_wanted) {
   DKF_CHECK(dst.size() >= src.size());
   // Request propagation to the target, then the data streams back over the
   // target->reader channel.
@@ -176,8 +176,8 @@ TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
 }
 
 TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
-                         gpu::MemSpan dst, std::function<void()> on_done,
-                         std::function<bool()> still_wanted) {
+                         gpu::MemSpan dst, Fabric::Callback on_done,
+                         Fabric::Predicate still_wanted) {
   DKF_CHECK(dst.size() >= src.size());
   Link& fwd = linkBetween(writer_node, target_node);
   bool down = false;

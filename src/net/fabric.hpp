@@ -12,7 +12,6 @@
 // 25) it does — the asymmetry §V-C attributes ABCI's different behaviour to.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +26,14 @@ namespace dkf::net {
 
 class Fabric {
  public:
+  /// Delivery/completion hooks are move-only inline callbacks: they are
+  /// captured into engine event slots, so a small budget here keeps the
+  /// whole delivery closure allocation-free (sim/callback.hpp).
+  using Callback = sim::SmallCallback;
+  using Predicate = sim::SmallPredicate;
+  using MessageCallback =
+      sim::InlineFunction<void(std::vector<std::byte>), sim::kSmallCallbackBytes>;
+
   Fabric(sim::Engine& eng, const hw::MachineSpec& machine, std::size_t nodes);
 
   std::size_t nodeCount() const { return nodes_; }
@@ -34,11 +41,11 @@ class Fabric {
   /// Two-sided data message src_node -> dst_node. Copies `payload` into
   /// `dst` at delivery, then runs `on_delivered`. Returns the delivery time.
   TimeNs sendData(int src_node, int dst_node, gpu::MemSpan payload,
-                  gpu::MemSpan dst, std::function<void()> on_delivered);
+                  gpu::MemSpan dst, Callback on_delivered);
 
   /// Small control packet (RTS/CTS/FIN). 64 bytes on the wire.
   TimeNs sendControl(int src_node, int dst_node,
-                     std::function<void()> on_delivered);
+                     Callback on_delivered);
 
   /// Two-sided message with *sender-side capture*: the payload is
   /// snapshotted at call time (MPI eager semantics — the sender may reuse
@@ -46,7 +53,7 @@ class Fabric {
   /// at delivery. Used for eager-protocol data whose destination buffer is
   /// not known until matching happens at the receiver.
   TimeNs sendMessage(int src_node, int dst_node, gpu::MemSpan payload,
-                     std::function<void(std::vector<std::byte>)> on_delivered);
+                     MessageCallback on_delivered);
 
   /// One-sided RDMA READ issued by `reader_node` against `target_node`:
   /// a request propagates to the target, then data streams back. The copy
@@ -57,14 +64,14 @@ class Fabric {
   /// merely-slow (not dropped) transfer cannot scribble over spans that
   /// were re-used after the first copy landed.
   TimeNs rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
-                  gpu::MemSpan dst, std::function<void()> on_done,
-                  std::function<bool()> still_wanted = {});
+                  gpu::MemSpan dst, Callback on_done,
+                  Predicate still_wanted = {});
 
   /// One-sided RDMA WRITE issued by `writer_node` into `target_node`.
   /// `still_wanted` as for rdmaRead.
   TimeNs rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
-                   gpu::MemSpan dst, std::function<void()> on_done,
-                   std::function<bool()> still_wanted = {});
+                   gpu::MemSpan dst, Callback on_done,
+                   Predicate still_wanted = {});
 
   std::size_t totalBytesCarried() const;
   std::size_t totalMessages() const;

@@ -21,7 +21,9 @@ sim::Task<Ticket> GpuSyncEngine::runOne(gpu::Gpu::Op op) {
   for (std::size_t attempt = 0;; ++attempt) {
     co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
     breakdown_.launching += gpu_->spec().kernel_launch_overhead;
-    handle = gpu_->launchKernel(stream_, {op});
+    std::vector<gpu::Gpu::Op> ops;
+    ops.push_back(op.clone());
+    handle = gpu_->launchKernel(stream_, std::move(ops));
     if (!handle.failed) break;
     DKF_CHECK_MSG(attempt + 1 < kMaxLaunchAttempts,
                   "GPU-Sync kernel launch failed " << kMaxLaunchAttempts

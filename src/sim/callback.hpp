@@ -1,0 +1,174 @@
+// Small-buffer-optimized move-only callables for the event hot path.
+//
+// `sim::InlineFunction<Sig, N>` stores any callable whose capture fits in N
+// bytes directly inside the object — no heap allocation, no type-erased
+// copy — and falls back to a single heap allocation only for oversized (or
+// over-aligned, or potentially-throwing-move) captures. It is move-only,
+// which is what lets the event queue hand a callback to exactly one
+// execution site instead of copying `std::function` state on every pop.
+//
+// Capacity budgets (see docs/MODEL.md §10): the hooks *stored inside*
+// fabric/GPU events use the small budget; the engine's own event slots use
+// the large budget, sized so that every fabric delivery closure — two
+// MemSpans plus a completion hook plus a still-wanted predicate — stays
+// inline. Nesting is the reason the two budgets differ: an event callback
+// routinely captures a user callback, so the outer budget must exceed the
+// inner object size.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dkf::sim {
+
+/// Inline capture budget for user-facing completion hooks (bytes).
+inline constexpr std::size_t kSmallCallbackBytes = 48;
+/// Inline capture budget for engine event slots (bytes): must hold a
+/// fabric delivery closure (2 MemSpans + SmallCallback + predicate).
+inline constexpr std::size_t kEventCallbackBytes = 160;
+
+template <class Sig, std::size_t N = kSmallCallbackBytes>
+class InlineFunction;
+
+template <class R, class... Args, std::size_t N>
+class InlineFunction<R(Args...), N> {
+  static_assert(N >= sizeof(void*), "capacity must hold at least a pointer");
+
+ public:
+  static constexpr std::size_t inline_capacity = N;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : vt_(o.vt_) {
+    if (vt_) {
+      vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_) {
+        vt_->relocate(o.buf_, buf_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// True when the stored callable overflowed to the heap (bench/tests).
+  bool heapAllocated() const noexcept { return vt_ && vt_->on_heap; }
+
+  R operator()(Args... args) {
+    DKF_CHECK_MSG(vt_ != nullptr, "calling an empty InlineFunction");
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct dst from src, then destroy src. Storage-relocation
+    /// only runs on object moves, never on heap growth of the event pool.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool on_heap;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= N && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  static constexpr VTable kInlineVTable{
+      [](void* p, Args&&... a) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(a)...);
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      /*on_heap=*/false,
+  };
+
+  template <class D>
+  static constexpr VTable kHeapVTable{
+      [](void* p, Args&&... a) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(a)...);
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      /*on_heap=*/true,
+  };
+
+  template <class F>
+  void emplace(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVTable<D>;
+    }
+  }
+
+  const VTable* vt_{nullptr};
+  alignas(std::max_align_t) std::byte buf_[N];
+};
+
+/// The issue-facing alias: a void() inline callback with capture budget N.
+template <std::size_t N = kSmallCallbackBytes>
+using InlineCallback = InlineFunction<void(), N>;
+
+/// Completion hooks stored inside fabric/GPU events.
+using SmallCallback = InlineCallback<kSmallCallbackBytes>;
+/// Delivery-gating predicates (`still_wanted`): captures are tiny.
+using SmallPredicate = InlineFunction<bool(), 32>;
+/// Engine event slots: sized for nested fabric delivery closures.
+using EventCallback = InlineCallback<kEventCallbackBytes>;
+
+}  // namespace dkf::sim

@@ -4,30 +4,91 @@
 
 namespace dkf::sim {
 
+namespace {
+/// 4-ary heap: shallower than binary for the same size, so pops touch
+/// fewer cache lines; children of i are [4i+1, 4i+4].
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
 void Engine::scheduleAt(TimeNs t, Callback cb) {
   DKF_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t << " now=" << now_);
-  queue_.push(Event{t, seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  heap_.push_back(EventKey{t, seq_++, slot});
+  siftUp(heap_.size() - 1);
+}
+
+void Engine::siftUp(std::size_t i) {
+  const EventKey key = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!before(key, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
+}
+
+void Engine::siftDown(std::size_t i) {
+  const EventKey key = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], key)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = key;
+}
+
+Engine::EventKey Engine::heapPop() {
+  const EventKey top = heap_.front();
+  const EventKey last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    siftDown(0);
+  }
+  return top;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
-  // copy the callback handle instead (std::function copy of the top).
-  Event ev = queue_.top();
-  queue_.pop();
+  drainFinished();
+  if (heap_.empty()) return false;
+  // Watchdog fires *before* the offending event is removed: the dump below
+  // describes an intact queue (the event at `top.time` is still its head),
+  // so post-mortem inspection sees exactly the state that tripped it.
+  const EventKey& top = heap_.front();
   DKF_CHECK_MSG(
-      !watchdog_armed_ || ev.time <= watchdog_deadline_,
-      "sim watchdog tripped: next event at t=" << ev.time
+      !watchdog_armed_ || top.time <= watchdog_deadline_,
+      "sim watchdog tripped: next event at t=" << top.time
           << " ns exceeds the liveness deadline " << watchdog_deadline_
           << " ns (now=" << now_ << " ns, processed=" << processed_
-          << " events, pending=" << queue_.size() + 1
-          << ", suspended tasks=" << spawned_.size()
-          << ") — a lost control packet or un-acked transfer is likely "
+          << " events, pending=" << heap_.size()
+          << ", suspended tasks=" << live_tasks_
+          << "; queue left intact, offending event still at the head) "
+             "— a lost control packet or un-acked transfer is likely "
              "spinning a progress loop");
-  now_ = ev.time;
+  const EventKey key = heapPop();
+  Callback cb = std::move(slots_[key.slot]);
+  free_slots_.push_back(key.slot);
+  now_ = key.time;
   ++processed_;
-  ev.cb();
-  reapSpawned();
+  cb();
+  drainFinished();
   return true;
 }
 
@@ -38,7 +99,8 @@ std::size_t Engine::run(std::size_t max_events) {
 }
 
 void Engine::runUntil(TimeNs t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!heap_.empty() && heap_.front().time <= t) step();
+  drainFinished();
   now_ = std::max(now_, t);
 }
 
@@ -49,24 +111,34 @@ void Engine::spawn(Task<void> task) {
     task.rethrowIfFailed();
     return;
   }
-  spawned_.push_back(std::move(task));
-}
-
-void Engine::reapSpawned() {
-  // Compact completed detached tasks, surfacing any stored exception.
-  auto first_done =
-      std::find_if(spawned_.begin(), spawned_.end(),
-                   [](const Task<void>& t) { return t.done(); });
-  if (first_done == spawned_.end()) return;
-  for (auto& t : spawned_) {
-    if (t.done()) t.rethrowIfFailed();
+  std::uint32_t slot;
+  if (!task_free_.empty()) {
+    slot = task_free_.back();
+    task_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(spawned_.size());
+    spawned_.emplace_back();
   }
-  std::erase_if(spawned_, [](const Task<void>& t) { return t.done(); });
+  // Final-suspend hook: the frame reports its slot when the body finishes,
+  // replacing the seed's O(spawned) post-event scan.
+  task.onFinalSuspend(
+      [](void* ctx, std::size_t s) noexcept {
+        static_cast<Engine*>(ctx)->noteSpawnedDone(s);
+      },
+      this, slot);
+  spawned_[slot] = std::move(task);
+  ++live_tasks_;
 }
 
-Task<void> pollUntil(Engine& eng, std::function<bool()> pred, DurationNs interval) {
-  while (!pred()) {
-    co_await eng.delay(interval);
+void Engine::drainFinished() {
+  while (!finished_.empty()) {
+    const std::uint32_t slot = finished_.back();
+    finished_.pop_back();
+    Task<void> done = std::move(spawned_[slot]);
+    task_free_.push_back(slot);
+    // May throw: the frame is destroyed during unwind (RAII), and any
+    // remaining finished slots are retired on the next step()/run().
+    done.rethrowIfFailed();
   }
 }
 

@@ -1,26 +1,31 @@
 // Deterministic single-threaded discrete-event engine.
 //
-// Events are (time, sequence, callback) triples in a min-heap; ties on time
-// break by insertion sequence, which makes every simulation replayable
-// bit-for-bit. All "hardware" in the simulator (GPU kernels, DMA engines,
-// NICs, links) runs by scheduling events; all "software" (MPI ranks, progress
-// engines, schedulers) runs as coroutines that suspend on awaitables resumed
-// from events.
+// Events are (time, sequence, callback) triples in a 4-ary min-heap; ties
+// on time break by insertion sequence, which makes every simulation
+// replayable bit-for-bit. All "hardware" in the simulator (GPU kernels, DMA
+// engines, NICs, links) runs by scheduling events; all "software" (MPI
+// ranks, progress engines, schedulers) runs as coroutines that suspend on
+// awaitables resumed from events.
+//
+// Hot-path layout: the heap orders 24-byte keys only; callbacks live in a
+// free-listed slot pool and never move while queued. Popping moves the
+// callback out of its slot exactly once (no type-erased copy), and the
+// inline-callback type keeps every capture that fits its budget off the
+// heap — the steady-state event loop performs zero allocations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/callback.hpp"
 #include "sim/task.hpp"
 
 namespace dkf::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -45,8 +50,8 @@ class Engine {
   /// Run events with time <= t, then set now() = t.
   void runUntil(TimeNs t);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pendingEvents() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pendingEvents() const { return heap_.size(); }
   std::size_t processedEvents() const { return processed_; }
 
   /// Liveness watchdog: the first event whose timestamp exceeds `deadline`
@@ -54,7 +59,9 @@ class Engine {
   /// instead of running. A lost FIN or dropped CTS leaves progress loops
   /// re-polling forever — the event queue never drains, run() spins, and
   /// nothing fails; the watchdog converts that livelock into a loud,
-  /// attributable error.
+  /// attributable error. The check happens *before* the offending event is
+  /// removed, so the queue (including the event itself) stays intact for
+  /// post-mortem inspection.
   void setWatchdog(TimeNs deadline) {
     watchdog_deadline_ = deadline;
     watchdog_armed_ = true;
@@ -63,13 +70,16 @@ class Engine {
   bool watchdogArmed() const { return watchdog_armed_; }
 
   /// Start a detached coroutine; the engine keeps its frame alive until it
-  /// completes. Exceptions escaping a spawned task are rethrown from
-  /// run()/step() at reap time so tests fail loudly.
+  /// completes. Completion is push-driven: the task's final suspend
+  /// notifies the engine, which retires the frame after the current event —
+  /// there is no per-step scan over suspended tasks. Exceptions escaping a
+  /// spawned task are rethrown from run()/step() at retire time so tests
+  /// fail loudly.
   void spawn(Task<void> task);
 
   /// Spawned coroutines still suspended. Nonzero after run() drains the
   /// event queue means a deadlock (a task waits on a gate nothing opens).
-  std::size_t unfinishedTasks() const { return spawned_.size(); }
+  std::size_t unfinishedTasks() const { return live_tasks_; }
 
   /// Awaitable: suspend the current coroutine for `d` virtual ns.
   auto delay(DurationNs d) {
@@ -90,32 +100,60 @@ class Engine {
   auto yield() { return delay(0); }
 
  private:
-  struct Event {
+  /// Heap element: ordering key plus the index of the callback's pool
+  /// slot. Sifts move 24 bytes; the callback itself never moves while
+  /// queued.
+  struct EventKey {
     TimeNs time;
     std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  void reapSpawned();
+  static bool before(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  EventKey heapPop();
+
+  /// Final-suspend notification from a spawned task (called while the
+  /// coroutine sits at its final suspend point; retirement is deferred to
+  /// drainFinished so the frame is never destroyed mid-resume).
+  void noteSpawnedDone(std::size_t slot) {
+    finished_.push_back(static_cast<std::uint32_t>(slot));
+    --live_tasks_;
+  }
+
+  /// Retire completed detached tasks, surfacing any stored exception.
+  void drainFinished();
 
   TimeNs now_{0};
   std::uint64_t seq_{0};
   std::size_t processed_{0};
   TimeNs watchdog_deadline_{0};
   bool watchdog_armed_{false};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<Task<void>> spawned_;
+
+  std::vector<EventKey> heap_;        // 4-ary min-heap on (time, seq)
+  std::vector<Callback> slots_;       // callback pool, indexed by EventKey::slot
+  std::vector<std::uint32_t> free_slots_;
+
+  std::vector<Task<void>> spawned_;   // detached-task pool (free-listed)
+  std::vector<std::uint32_t> task_free_;
+  std::vector<std::uint32_t> finished_;  // slots awaiting retirement
+  std::size_t live_tasks_{0};
 };
 
 /// Coroutine helper: poll `pred` every `interval` until it returns true.
 /// Used to model CPU polling loops (progress engines, event queries); the
-/// caller accounts any per-poll CPU cost separately.
-Task<void> pollUntil(Engine& eng, std::function<bool()> pred, DurationNs interval);
+/// caller accounts any per-poll CPU cost separately. Templated on the
+/// predicate so call sites pay no type-erasure allocation.
+template <class Pred>
+Task<void> pollUntil(Engine& eng, Pred pred, DurationNs interval) {
+  while (!pred()) {
+    co_await eng.delay(interval);
+  }
+}
 
 }  // namespace dkf::sim

@@ -28,7 +28,11 @@ class Task;
 namespace detail {
 
 /// Final awaiter: transfers control back to whoever co_awaited this task,
-/// or parks (noop) for root/detached tasks which the Engine reaps.
+/// or parks (noop) for root/detached tasks. Detached tasks additionally
+/// fire the owner's completion hook (Engine::spawn installs it) so the
+/// engine retires finished frames without scanning — the hook runs while
+/// the coroutine sits at its final suspend point, so the owner must defer
+/// frame destruction until the resume unwinds.
 struct FinalAwaiter {
   bool await_ready() const noexcept { return false; }
 
@@ -37,6 +41,7 @@ struct FinalAwaiter {
       std::coroutine_handle<Promise> h) noexcept {
     auto& p = h.promise();
     p.finished = true;
+    if (p.on_final) p.on_final(p.on_final_ctx, p.on_final_slot);
     if (p.continuation) return p.continuation;
     return std::noop_coroutine();
   }
@@ -48,6 +53,11 @@ struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
   bool finished{false};
+
+  /// Completion hook for detached tasks (see FinalAwaiter).
+  void (*on_final)(void* ctx, std::size_t slot) noexcept {nullptr};
+  void* on_final_ctx{nullptr};
+  std::size_t on_final_slot{0};
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
@@ -170,6 +180,17 @@ class [[nodiscard]] Task<void> {
     if (handle_ && handle_.promise().exception) {
       std::rethrow_exception(handle_.promise().exception);
     }
+  }
+
+  /// Install the detached-completion hook (must be suspended, not done).
+  /// `fn(ctx, slot)` runs from the final suspend point; see FinalAwaiter.
+  void onFinalSuspend(void (*fn)(void*, std::size_t) noexcept, void* ctx,
+                      std::size_t slot) {
+    DKF_CHECK(handle_ && !handle_.promise().finished);
+    auto& p = handle_.promise();
+    p.on_final = fn;
+    p.on_final_ctx = ctx;
+    p.on_final_slot = slot;
   }
 
   bool await_ready() const noexcept { return !handle_ || handle_.done(); }

@@ -45,7 +45,7 @@ TEST_F(GpuDeviceTest, PackKernelMovesBytesAtCompletion) {
   bool completed = false;
   Gpu::Op op{Gpu::Op::Kind::Pack, layout, nullptr, origin.bytes, packed.bytes,
              [&] { completed = true; }};
-  auto handle = gpu_.launchKernel(0, {op});
+  auto handle = gpu_.launchKernel(0, std::move(op));
   EXPECT_FALSE(completed);
   EXPECT_GT(handle.end, handle.start);
   eng_.run();
@@ -63,7 +63,7 @@ TEST_F(GpuDeviceTest, UnpackKernelScatters) {
     packed.bytes[i] = static_cast<std::byte>(0x40 + i);
   Gpu::Op op{Gpu::Op::Kind::Unpack, layout, nullptr, packed.bytes,
              origin.bytes, nullptr};
-  gpu_.launchKernel(0, {op});
+  gpu_.launchKernel(0, std::move(op));
   eng_.run();
   EXPECT_EQ(origin.bytes[16], static_cast<std::byte>(0x44));
 }
@@ -116,7 +116,7 @@ TEST_F(GpuDeviceTest, FusedKernelCostsOneLaunchNotN) {
   for (int i = 0; i < kN; ++i) {
     Gpu::Op op{Gpu::Op::Kind::Pack, layout, nullptr, srcs[i].bytes,
                dsts[i].bytes, nullptr};
-    auto h = gpu_.launchKernel(0, {op});
+    auto h = gpu_.launchKernel(0, std::move(op));
     serial_time += h.end - h.start;
   }
   eng_.run();
@@ -132,11 +132,11 @@ TEST_F(GpuDeviceTest, SparseLayoutSlowerThanDenseSameBytes) {
   auto dst = gpu_.memory().allocate(bytes);
 
   auto h_dense = gpu_.launchKernel(
-      0, {Gpu::Op{Gpu::Op::Kind::Pack, dense, nullptr, src.bytes, dst.bytes,
-                  nullptr}});
+      0, Gpu::Op{Gpu::Op::Kind::Pack, dense, nullptr, src.bytes, dst.bytes,
+                 nullptr});
   auto h_sparse = gpu_.launchKernel(
-      0, {Gpu::Op{Gpu::Op::Kind::Pack, sparse, nullptr, src.bytes, dst.bytes,
-                  nullptr}});
+      0, Gpu::Op{Gpu::Op::Kind::Pack, sparse, nullptr, src.bytes, dst.bytes,
+                 nullptr});
   eng_.run();
   EXPECT_GT(h_sparse.end - h_sparse.start, (h_dense.end - h_dense.start) * 4);
 }
@@ -147,12 +147,12 @@ TEST_F(GpuDeviceTest, StreamsSerializeKernels) {
   auto dst = gpu_.memory().allocate(1 << 20);
   Gpu::Op op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
              nullptr};
-  auto h1 = gpu_.launchKernel(0, {op});
-  auto h2 = gpu_.launchKernel(0, {op});
+  auto h1 = gpu_.launchKernel(0, op.clone());
+  auto h2 = gpu_.launchKernel(0, op.clone());
   EXPECT_GE(h2.start, h1.end);
   // A different stream starts independently.
   auto s2 = gpu_.createStream();
-  auto h3 = gpu_.launchKernel(s2, {op});
+  auto h3 = gpu_.launchKernel(s2, std::move(op));
   EXPECT_LT(h3.start, h2.end);
   eng_.run();
 }
@@ -162,8 +162,8 @@ TEST_F(GpuDeviceTest, EventRecordQuerySynchronize) {
   auto src = gpu_.memory().allocate(1 << 22);
   auto dst = gpu_.memory().allocate(1 << 22);
   auto h = gpu_.launchKernel(
-      0, {Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
-                  nullptr}});
+      0, Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
+                 nullptr});
   auto ev = gpu_.createEvent();
   gpu_.eventRecord(ev, 0);
   EXPECT_FALSE(gpu_.eventQuery(ev));
@@ -184,8 +184,8 @@ TEST_F(GpuDeviceTest, StreamSynchronizeWaitsForQueuedWork) {
   auto src = gpu_.memory().allocate(1 << 22);
   auto dst = gpu_.memory().allocate(1 << 22);
   auto h = gpu_.launchKernel(
-      0, {Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
-                  nullptr}});
+      0, Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
+                 nullptr});
   TimeNs woke_at = 0;
   eng_.spawn([](sim::Engine& eng, Gpu& gpu, TimeNs& woke) -> sim::Task<void> {
     co_await gpu.streamSynchronize(0);
@@ -236,8 +236,8 @@ TEST_F(GpuDeviceTest, StridedCopyMovesBetweenLayouts) {
   auto dst = gpu_.memory().allocate(512);
   for (std::size_t i = 0; i < 512; ++i)
     src.bytes[i] = static_cast<std::byte>(i % 251);
-  gpu_.launchKernel(0, {Gpu::Op{Gpu::Op::Kind::StridedCopy, src_layout,
-                                dst_layout, src.bytes, dst.bytes, nullptr}});
+  gpu_.launchKernel(0, Gpu::Op{Gpu::Op::Kind::StridedCopy, src_layout,
+                               dst_layout, src.bytes, dst.bytes, nullptr});
   eng_.run();
   // Spot-check: 9th packed byte (index 8) comes from src offset 64+? No —
   // src runs: [0,16),[64,80),...; dst runs: [0,8),[32,40),...
@@ -250,9 +250,9 @@ TEST_F(GpuDeviceTest, ZeroByteOpCompletesImmediately) {
   bool completed = false;
   auto src = gpu_.memory().allocate(16);
   auto dst = gpu_.memory().allocate(16);
-  gpu_.launchKernel(0, {Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr,
-                                src.bytes, dst.bytes,
-                                [&] { completed = true; }}});
+  gpu_.launchKernel(0, Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr,
+                               src.bytes, dst.bytes,
+                               [&] { completed = true; }});
   eng_.run();
   EXPECT_TRUE(completed);
 }
@@ -290,11 +290,11 @@ TEST_F(GpuDeviceTest, InvalidStreamThrows) {
   auto dst = gpu_.memory().allocate(64);
   Gpu::Op op{Gpu::Op::Kind::Pack, layout, nullptr, src.bytes, dst.bytes,
              nullptr};
-  EXPECT_THROW(gpu_.launchKernel(999, {op}), CheckFailure);
+  EXPECT_THROW(gpu_.launchKernel(999, std::move(op)), CheckFailure);
 }
 
 TEST_F(GpuDeviceTest, EmptyKernelThrows) {
-  EXPECT_THROW(gpu_.launchKernel(0, {}), CheckFailure);
+  EXPECT_THROW(gpu_.launchKernel(0, std::vector<Gpu::Op>{}), CheckFailure);
 }
 
 TEST_F(GpuDeviceTest, BusyTimeAccumulates) {
@@ -302,8 +302,8 @@ TEST_F(GpuDeviceTest, BusyTimeAccumulates) {
   auto src = gpu_.memory().allocate(1 << 20);
   auto dst = gpu_.memory().allocate(1 << 20);
   EXPECT_EQ(gpu_.busyTime(), 0u);
-  auto h = gpu_.launchKernel(0, {Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr,
-                                         src.bytes, dst.bytes, nullptr}});
+  auto h = gpu_.launchKernel(0, Gpu::Op{Gpu::Op::Kind::Pack, layout, nullptr,
+                                        src.bytes, dst.bytes, nullptr});
   eng_.run();
   EXPECT_EQ(gpu_.busyTime(), h.end - h.start);
   EXPECT_EQ(gpu_.kernelsLaunched(), 1u);

@@ -93,8 +93,8 @@ TEST(TraceIntegration, GpuKernelsEmitStreamSpans) {
       ddt::Datatype::contiguous(4096, ddt::Datatype::byte()), 1));
   auto src = gpu.memory().allocate(4096);
   auto dst = gpu.memory().allocate(4096);
-  gpu.launchKernel(0, {gpu::Gpu::Op{gpu::Gpu::Op::Kind::Pack, layout, nullptr,
-                                    src.bytes, dst.bytes, nullptr}});
+  gpu.launchKernel(0, gpu::Gpu::Op{gpu::Gpu::Op::Kind::Pack, layout, nullptr,
+                                   src.bytes, dst.bytes, nullptr});
   gpu.memcpyAsync(0, dst, src);
   eng.run();
   EXPECT_EQ(tracer.eventCount(), 2u);
