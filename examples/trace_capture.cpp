@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
     // Layout-cache residency/eviction counters, one series per rank.
     runtime.proc(r).layoutCache().setTracer(
         &tracer, &engine, "layout_cache.rank" + std::to_string(r));
+    // Compiled-plan cache hit/miss/residency counters, one series per rank.
+    runtime.proc(r).planCache().setTracer(
+        &tracer, &engine, "plan_cache.rank" + std::to_string(r));
   }
 
   const auto wl = workloads::specfem3dCm(64);

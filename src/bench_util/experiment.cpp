@@ -158,6 +158,12 @@ ExchangeResult runBulkExchange(const ExchangeConfig& cfg) {
     result.transport.host_staging_fallbacks +=
         p->transport().host_staging_fallbacks;
   }
+  for (mpi::Proc* p : procs) {
+    result.plan_cache.hits += p->planCache().hits();
+    result.plan_cache.misses += p->planCache().misses();
+    result.plan_cache.evictions += p->planCache().evictions();
+    result.plan_cache.fallbacks += p->planCache().counters().fallbacks;
+  }
   result.end_time = eng.now();
   return result;
 }

@@ -54,6 +54,10 @@ struct ExchangeResult {
   fault::FaultCounters fault_counters{};
   /// Reliable-transport work summed over both ranks.
   mpi::TransportCounters transport{};
+  /// Compiled-plan cache traffic summed over both ranks: repeat-layout
+  /// exchanges should show misses bounded by distinct (op, structure)
+  /// pairs and everything else hitting.
+  core::PlanCacheCounters plan_cache{};
   /// Final virtual time of the whole run (determinism/replay checks).
   TimeNs end_time{0};
 

@@ -1,5 +1,6 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ddt/pack.hpp"
@@ -68,6 +69,19 @@ sim::Task<void> FusionScheduler::flush() {
   }
 }
 
+DurationNs FusionScheduler::retryBackoff(std::size_t attempt) const {
+  // Exponential backoff with a hard ceiling. Shifting by the raw attempt
+  // number is UB once it reaches the width of DurationNs (max_launch_attempts
+  // is policy, not a constant), so clamp the exponent first: past
+  // kMaxBackoffShift the unclamped value already exceeds any sane ceiling.
+  constexpr std::size_t kMaxBackoffShift = 32;
+  const DurationNs base = std::max<DurationNs>(policy_.launch_retry_backoff, 1);
+  const DurationNs cap =
+      std::max<DurationNs>(policy_.max_launch_retry_backoff, base);
+  if (attempt >= kMaxBackoffShift) return cap;
+  return std::min<DurationNs>(base << attempt, cap);
+}
+
 sim::Task<void> FusionScheduler::launchBatch() {
   const std::vector<std::size_t> batch =
       list_.claimPendingBatch(policy_.max_requests_per_kernel);
@@ -78,37 +92,41 @@ sim::Task<void> FusionScheduler::launchBatch() {
     batch_bytes += list_.slot(slot_index).bytes();
   }
 
-  // Ops are rebuilt per attempt: launchKernel consumes its vector, and an
-  // injected launch failure queues nothing.
-  const auto build_ops = [this, &batch] {
+  // Lower each request to its kernel-op template ONCE per batch (the
+  // request's op kind fixes the kernel op — nothing here depends on the
+  // attempt). launchKernel consumes its vector and an injected launch
+  // failure queues nothing, so retries clone the templates and re-attach
+  // the move-only completion hooks.
+  std::vector<gpu::Gpu::Op> op_templates;
+  op_templates.reserve(batch.size());
+  for (const std::size_t slot_index : batch) {
+    FusionRequest& r = list_.slot(slot_index);
+    gpu::Gpu::Op op;
+    switch (r.op) {
+      case FusionOp::Packing:
+        op.kind = gpu::Gpu::Op::Kind::Pack;
+        break;
+      case FusionOp::Unpacking:
+        op.kind = gpu::Gpu::Op::Kind::Unpack;
+        break;
+      case FusionOp::DirectIPC:
+        op.kind = gpu::Gpu::Op::Kind::StridedCopy;
+        op.dst_layout = r.target_layout;
+        break;
+    }
+    op.layout = r.layout;
+    op.src = r.origin.bytes;
+    op.dst = r.target.bytes;
+    op_templates.push_back(std::move(op));
+  }
+  const auto build_ops = [this, &batch, &op_templates] {
     std::vector<gpu::Gpu::Op> ops;
-    ops.reserve(batch.size());
-    for (const std::size_t slot_index : batch) {
-      FusionRequest& r = list_.slot(slot_index);
-      gpu::Gpu::Op op;
-      switch (r.op) {
-        case FusionOp::Packing:
-          op.kind = gpu::Gpu::Op::Kind::Pack;
-          op.layout = r.layout;
-          op.src = r.origin.bytes;
-          op.dst = r.target.bytes;
-          break;
-        case FusionOp::Unpacking:
-          op.kind = gpu::Gpu::Op::Kind::Unpack;
-          op.layout = r.layout;
-          op.src = r.origin.bytes;
-          op.dst = r.target.bytes;
-          break;
-        case FusionOp::DirectIPC:
-          op.kind = gpu::Gpu::Op::Kind::StridedCopy;
-          op.layout = r.layout;
-          op.dst_layout = r.target_layout;
-          op.src = r.origin.bytes;
-          op.dst = r.target.bytes;
-          break;
-      }
+    ops.reserve(op_templates.size());
+    for (std::size_t i = 0; i < op_templates.size(); ++i) {
+      gpu::Gpu::Op op = op_templates[i].clone();
       // ③: the GPU thread block signals the response status directly.
       RequestList* list = &list_;
+      const std::size_t slot_index = batch[i];
       op.on_complete = [list, slot_index] {
         list->signalCompletion(slot_index);
       };
@@ -136,7 +154,7 @@ sim::Task<void> FusionScheduler::launchBatch() {
       co_await runBatchOnCpu(batch, batch_bytes);
       co_return;
     }
-    co_await eng_->delay(policy_.launch_retry_backoff << attempt);
+    co_await eng_->delay(retryBackoff(attempt));
   }
   breakdown_.pack_unpack += handle.end - handle.start;
   ++kernels_;

@@ -58,8 +58,13 @@ struct FusionPolicy {
   // ---- Fault tolerance (only exercised with a FaultPlan attached) ----
   /// Total launch tries per batch before degrading to the CPU pack path.
   std::size_t max_launch_attempts{4};
-  /// Wait before re-attempting a failed launch; doubles per failure.
+  /// Wait before re-attempting a failed launch; doubles per failure up to
+  /// `max_launch_retry_backoff`.
   DurationNs launch_retry_backoff{us(2)};
+  /// Ceiling on the doubled backoff. Also guards the doubling itself: with
+  /// a caller-chosen max_launch_attempts the naive `backoff << attempt` is
+  /// undefined behaviour once attempt reaches the width of DurationNs.
+  DurationNs max_launch_retry_backoff{ms(2)};
   /// Host-side streaming rate (bytes/ns) of the degraded CPU pack path.
   double cpu_fallback_bytes_per_ns{4.0};
 };
@@ -137,6 +142,9 @@ class FusionScheduler {
   /// each request's completion.
   sim::Task<void> runBatchOnCpu(const std::vector<std::size_t>& batch,
                                 std::size_t batch_bytes);
+  /// Exponential launch-retry backoff, clamped so neither the shift nor the
+  /// resulting delay can overflow however large max_launch_attempts is.
+  DurationNs retryBackoff(std::size_t attempt) const;
   void traceBacklog();
 
   sim::Engine* eng_;

@@ -89,6 +89,10 @@ Layout Layout::fromElement(std::vector<Segment> elem, std::size_t elem_extent,
   if (count == 1) {
     l.body_ = groupRuns(elem);
     l.body_reps_ = 1;
+    // Not used for emission (rep 0 is unshifted) but keeps the signature of
+    // a single element equal to that of any count of a cleanly repeating
+    // type — count-independence must include count == 1.
+    l.body_stride_ = static_cast<std::int64_t>(elem_extent);
     l.finalize(elem_extent);
     return l;
   }
@@ -193,6 +197,31 @@ void Layout::finalize(std::size_t extent) {
   } else if (!head_.empty()) {
     end_offset_ = groupEnd(head_.back());
   }
+
+  // Canonical signature: FNV-1a over the group structure, excluding
+  // body_reps_ and extent, with tail offsets shifted back by the body span —
+  // see Layout::signature() for the count-independence contract.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mixGroup = [&](const RunGroup& g, std::int64_t shift) {
+    mix(static_cast<std::uint64_t>(g.base_offset - shift));
+    mix(g.run_len);
+    mix(static_cast<std::uint64_t>(g.stride));
+    mix(g.run_count);
+  };
+  mix(head_.size());
+  for (const RunGroup& g : head_) mixGroup(g, 0);
+  mix(body_.size());
+  mix(static_cast<std::uint64_t>(body_stride_));
+  for (const RunGroup& g : body_) mixGroup(g, 0);
+  mix(tail_.size());
+  const std::int64_t tail_shift =
+      static_cast<std::int64_t>(body_reps_) * body_stride_;
+  for (const RunGroup& g : tail_) mixGroup(g, tail_shift);
+  signature_ = h;
 }
 
 double Layout::meanBlock() const {

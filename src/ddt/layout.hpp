@@ -104,6 +104,18 @@ class Layout {
   /// One past the highest byte offset touched.
   std::int64_t endOffset() const { return end_offset_; }
 
+  /// Canonical structural signature (FNV-1a over the compressed sections).
+  /// *Count-independent* for periodic layouts: the hash covers head/body/tail
+  /// group structure and the body stride but NOT the repetition count (tail
+  /// offsets are normalized by the body span), so (type, m) and (type, n)
+  /// hash equal for any m, n >= 1 of a cleanly repeating type and any
+  /// m, n >= 2 of a boundary-coalescing one. Only the non-periodic
+  /// materialized fallback (overhanging resized types) and fully contiguous
+  /// layouts keep a count-dependent signature — their structure genuinely
+  /// changes with count. This is the plan-cache key: one compiled FusionPlan
+  /// serves a whole count sweep over the same datatype.
+  std::uint64_t signature() const { return signature_; }
+
   // ---- Run enumeration (canonical order, nothing materialized) ----
 
   /// Visit every run as (offset, len), sorted by offset and coalesced.
@@ -190,6 +202,7 @@ class Layout {
   std::size_t max_block_{0};
   std::int64_t min_offset_{0};
   std::int64_t end_offset_{0};
+  std::uint64_t signature_{0};
 };
 
 using LayoutPtr = std::shared_ptr<const Layout>;

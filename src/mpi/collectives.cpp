@@ -1,6 +1,7 @@
 #include "mpi/collectives.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -10,7 +11,33 @@ namespace dkf::mpi {
 namespace {
 
 std::size_t elementSize(ReduceType t) {
-  return t == ReduceType::Float64 ? 8 : 8;
+  switch (t) {
+    case ReduceType::Float64: return sizeof(double);
+    case ReduceType::Int64: return sizeof(std::int64_t);
+  }
+  DKF_CHECK_MSG(false, "unhandled ReduceType " << static_cast<int>(t));
+}
+
+template <class T>
+T combine(T a, T b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Min: return std::min(a, b);
+    case ReduceOp::Max: return std::max(a, b);
+  }
+  DKF_CHECK_MSG(false, "unhandled ReduceOp " << static_cast<int>(op));
+}
+
+template <class T>
+void combineSpans(std::span<std::byte> dst, std::span<const std::byte> src,
+                  std::size_t count, ReduceOp op) {
+  for (std::size_t i = 0; i < count; ++i) {
+    T a, b;
+    std::memcpy(&a, dst.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, src.data() + i * sizeof(T), sizeof(T));
+    a = combine(a, b, op);
+    std::memcpy(dst.data() + i * sizeof(T), &a, sizeof(T));
+  }
 }
 
 /// Apply `op` element-wise: dst[i] = dst[i] op src[i].
@@ -18,31 +45,15 @@ void applyReduce(std::span<std::byte> dst, std::span<const std::byte> src,
                  std::size_t count, ReduceType type, ReduceOp op) {
   DKF_CHECK(dst.size() >= count * elementSize(type));
   DKF_CHECK(src.size() >= count * elementSize(type));
-  auto combine = [op](auto a, auto b) {
-    switch (op) {
-      case ReduceOp::Sum: return a + b;
-      case ReduceOp::Min: return std::min(a, b);
-      case ReduceOp::Max: return std::max(a, b);
-    }
-    return a;
-  };
-  if (type == ReduceType::Float64) {
-    for (std::size_t i = 0; i < count; ++i) {
-      double a, b;
-      std::memcpy(&a, dst.data() + i * 8, 8);
-      std::memcpy(&b, src.data() + i * 8, 8);
-      a = combine(a, b);
-      std::memcpy(dst.data() + i * 8, &a, 8);
-    }
-  } else {
-    for (std::size_t i = 0; i < count; ++i) {
-      std::int64_t a, b;
-      std::memcpy(&a, dst.data() + i * 8, 8);
-      std::memcpy(&b, src.data() + i * 8, 8);
-      a = combine(a, b);
-      std::memcpy(dst.data() + i * 8, &a, 8);
-    }
+  switch (type) {
+    case ReduceType::Float64:
+      combineSpans<double>(dst, src, count, op);
+      return;
+    case ReduceType::Int64:
+      combineSpans<std::int64_t>(dst, src, count, op);
+      return;
   }
+  DKF_CHECK_MSG(false, "unhandled ReduceType " << static_cast<int>(type));
 }
 
 /// Rank relative to the root (so the tree algorithms can assume root 0).
@@ -127,6 +138,7 @@ sim::Task<void> gather(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
                        std::size_t bytes_per_rank, int root, int tag_base) {
   const int n = proc.worldSize();
   if (proc.rank() == root) {
+    DKF_CHECK(send.size() >= bytes_per_rank);
     DKF_CHECK(recv.size() >= bytes_per_rank * static_cast<std::size_t>(n));
     std::vector<RequestPtr> reqs;
     for (int r = 0; r < n; ++r) {
@@ -143,6 +155,7 @@ sim::Task<void> gather(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
     }
     co_await proc.waitall(std::move(reqs));
   } else {
+    DKF_CHECK(send.size() >= bytes_per_rank);
     auto req = co_await proc.isend(send, ddt::Datatype::byte(),
                                    bytes_per_rank, root,
                                    tag_base + proc.rank());

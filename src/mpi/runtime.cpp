@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "schemes/solver.hpp"
 
 namespace dkf::mpi {
 
@@ -14,7 +15,8 @@ Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
       rank_(rank),
       gpu_(&gpu),
       cpu_(std::make_unique<sim::CpuTimeline>(rt.engine())),
-      layout_cache_(rt.config().layout_cache) {
+      layout_cache_(rt.config().layout_cache),
+      plan_cache_(rt.config().plan_cache) {
   core::FusionPolicy tuned;
   const RuntimeConfig& cfg = rt.config();
   if (cfg.tuned_threshold > 0) tuned.threshold_bytes = cfg.tuned_threshold;
@@ -35,6 +37,25 @@ gpu::MemSpan Proc::allocDevice(std::size_t bytes) {
 
 void Proc::freeDevice(const gpu::MemSpan& span) {
   gpu_->memory().deallocate(span);
+}
+
+core::CompiledPlanPtr Proc::planFor(core::FusionOp op,
+                                    const ddt::LayoutPtr& layout,
+                                    const ddt::LayoutPtr& target_layout) {
+  core::FusionPlan plan;
+  switch (op) {
+    case core::FusionOp::Packing:
+      plan.addPack(layout);
+      break;
+    case core::FusionOp::Unpacking:
+      plan.addUnpack(layout);
+      break;
+    case core::FusionOp::DirectIPC:
+      plan.addStridedCopy(layout, target_layout);
+      break;
+  }
+  return schemes::compilePlanCached(plan_cache_, plan, rt_->config().scheme,
+                                    gpu_->nodeSpec());
 }
 
 RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
@@ -104,8 +125,9 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
                     "non-contiguous send buffers must be GPU-resident");
       req->staging = allocDevice(req->data_bytes);
       req->staging_owned = true;
-      req->ticket =
-          co_await engine_->submitPack(req->layout, req->user_buf, req->staging);
+      const auto plan = planFor(core::FusionOp::Packing, req->layout);
+      req->ticket = co_await engine_->submitPlanStep(
+          *plan, 0, req->layout, nullptr, req->user_buf, req->staging);
       req->ticket_pending = true;
       if (engine_->done(req->ticket)) {
         req->ticket_pending = false;
@@ -379,7 +401,10 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
   Proc* self = this;
   engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
     const gpu::MemSpan packed = gpu::MemSpan::host(r->eager_data);
-    r->ticket = co_await p.engine_->submitUnpack(r->layout, packed, r->user_buf);
+    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout);
+    r->ticket = co_await p.engine_->submitPlanStep(*plan, 0, r->layout,
+                                                   nullptr, packed,
+                                                   r->user_buf);
     r->ticket_pending = true;
     if (p.engine_->done(r->ticket)) {
       r->ticket_pending = false;
@@ -581,8 +606,10 @@ void Proc::finishRecvData(RequestPtr recv) {
   }
   Proc* self = this;
   engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
-    r->ticket =
-        co_await p.engine_->submitUnpack(r->layout, r->staging, r->user_buf);
+    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout);
+    r->ticket = co_await p.engine_->submitPlanStep(*plan, 0, r->layout,
+                                                   nullptr, r->staging,
+                                                   r->user_buf);
     r->ticket_pending = true;
     if (p.engine_->done(r->ticket)) {
       r->ticket_pending = false;
@@ -603,8 +630,11 @@ void Proc::releaseRecvStaging(Request& r) {
 }
 
 sim::Task<void> Proc::tryDirect(RequestPtr recv) {
-  const auto t = co_await engine_->submitDirect(
-      recv->remote_layout, recv->remote_origin, recv->layout, recv->user_buf);
+  const auto plan = planFor(core::FusionOp::DirectIPC, recv->remote_layout,
+                            recv->layout);
+  const auto t = co_await engine_->submitPlanStep(
+      *plan, 0, recv->remote_layout, recv->layout, recv->remote_origin,
+      recv->user_buf);
   if (!t.valid()) {
     recv->direct_retry = true;  // request list full: retry on next pass
     co_return;
@@ -750,7 +780,9 @@ sim::Task<void> Proc::pack(gpu::MemSpan origin, ddt::DatatypePtr type,
   co_await cpu_->busy(rt_->config().call_overhead);
   auto layout = layout_cache_.get(type, count);
   DKF_CHECK(packed.size() >= layout->size());
-  const auto t = co_await engine_->submitPack(layout, origin, packed);
+  const auto plan = planFor(core::FusionOp::Packing, layout);
+  const auto t = co_await engine_->submitPlanStep(*plan, 0, layout, nullptr,
+                                                  origin, packed);
   while (!engine_->done(t)) {
     co_await engine_->flush();
     co_await engine().delay(rt_->config().poll_interval);
@@ -762,7 +794,9 @@ sim::Task<void> Proc::unpack(gpu::MemSpan packed, gpu::MemSpan origin,
   co_await cpu_->busy(rt_->config().call_overhead);
   auto layout = layout_cache_.get(type, count);
   DKF_CHECK(packed.size() >= layout->size());
-  const auto t = co_await engine_->submitUnpack(layout, packed, origin);
+  const auto plan = planFor(core::FusionOp::Unpacking, layout);
+  const auto t = co_await engine_->submitPlanStep(*plan, 0, layout, nullptr,
+                                                  packed, origin);
   while (!engine_->done(t)) {
     co_await engine_->flush();
     co_await engine().delay(rt_->config().poll_interval);

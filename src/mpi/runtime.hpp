@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/fusion_plan.hpp"
 #include "ddt/datatype.hpp"
 #include "ddt/layout.hpp"
 #include "hw/cluster.hpp"
@@ -75,6 +76,8 @@ struct RuntimeConfig {
   ReliabilityConfig reliability{};
   /// Per-rank layout-cache budget (entries/bytes; 0 = unbounded).
   ddt::LayoutCacheLimits layout_cache{};
+  /// Per-rank compiled-plan cache budget (entries/bytes; 0 = unbounded).
+  core::PlanCacheLimits plan_cache{};
 };
 
 class Runtime;
@@ -91,6 +94,7 @@ class Proc {
   sim::CpuTimeline& cpu() { return *cpu_; }
   schemes::DdtEngine& ddtEngine() { return *engine_; }
   ddt::LayoutCache& layoutCache() { return layout_cache_; }
+  core::PlanCache& planCache() { return plan_cache_; }
 
   /// Device-buffer management on this rank's GPU.
   gpu::MemSpan allocDevice(std::size_t bytes);
@@ -196,6 +200,14 @@ class Proc {
   RequestPtr makeRequest(Request::Kind kind, gpu::MemSpan buf,
                          const ddt::DatatypePtr& type, std::size_t count,
                          int peer, int tag);
+  /// Compiled plan for a single-op sequence over `layout` (and, for
+  /// DirectIPC, `target_layout`) — memoized in the per-rank plan cache, so
+  /// repeat-layout traffic compiles once per canonical signature and the
+  /// engine executes the cached template. Host-side memoization like
+  /// LayoutCache: charges no virtual time.
+  core::CompiledPlanPtr planFor(core::FusionOp op,
+                                const ddt::LayoutPtr& layout,
+                                const ddt::LayoutPtr& target_layout = nullptr);
   /// Reset per-activation protocol state (persistent restarts).
   static void resetActivationState(Request& req);
   /// Run the send-side activation (protocol choice, pack submission).
@@ -209,6 +221,7 @@ class Proc {
   std::unique_ptr<sim::CpuTimeline> cpu_;
   std::unique_ptr<schemes::DdtEngine> engine_;
   ddt::LayoutCache layout_cache_;
+  core::PlanCache plan_cache_;
 
   std::vector<RequestPtr> active_;          // all incomplete requests
   std::vector<RequestPtr> posted_recvs_;    // unmatched posted receives

@@ -1,10 +1,35 @@
 #include "schemes/ddt_engine.hpp"
 
+#include <utility>
+
+#include "common/check.hpp"
+
 namespace dkf::schemes {
 
 sim::Task<Ticket> DdtEngine::submitDirect(ddt::LayoutPtr, gpu::MemSpan,
                                           ddt::LayoutPtr, gpu::MemSpan) {
   co_return Ticket{};  // not supported: caller falls back
+}
+
+sim::Task<Ticket> DdtEngine::submitPlanStep(const core::CompiledPlan& plan,
+                                            std::size_t step,
+                                            ddt::LayoutPtr live_layout,
+                                            ddt::LayoutPtr live_target,
+                                            gpu::MemSpan origin,
+                                            gpu::MemSpan target) {
+  DKF_CHECK(step < plan.steps.size());
+  const core::CompiledStep& s = plan.steps[step];
+  switch (s.op) {
+    case core::FusionOp::Packing:
+      co_return co_await submitPack(std::move(live_layout), origin, target);
+    case core::FusionOp::Unpacking:
+      co_return co_await submitUnpack(std::move(live_layout), origin, target);
+    case core::FusionOp::DirectIPC:
+      co_return co_await submitDirect(std::move(live_layout), origin,
+                                      std::move(live_target), target);
+  }
+  DKF_CHECK_MSG(false, "unhandled FusionOp " << static_cast<int>(s.op));
+  co_return Ticket{};
 }
 
 sim::Task<void> DdtEngine::flush() { co_return; }

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "common/stats.hpp"
+#include "core/fusion_plan.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
 #include "sim/task.hpp"
@@ -72,6 +73,21 @@ class DdtEngine {
                                          gpu::MemSpan src,
                                          ddt::LayoutPtr dst_layout,
                                          gpu::MemSpan dst);
+
+  /// Execute one step of a compiled FusionPlan with this message's live
+  /// layouts and buffers (`live_target` is the DirectIPC destination layout,
+  /// nullptr otherwise). The live layouts may differ in count from the
+  /// plan's declared ones — compiled plans are count-independent. The
+  /// default dispatches to the submit* entry points; engines with their own
+  /// request machinery (FusionEngine) override for a template-bound path.
+  /// DirectIPC steps keep submitDirect's contract: an engine without the
+  /// capability returns an invalid ticket and the caller falls back.
+  virtual sim::Task<Ticket> submitPlanStep(const core::CompiledPlan& plan,
+                                           std::size_t step,
+                                           ddt::LayoutPtr live_layout,
+                                           ddt::LayoutPtr live_target,
+                                           gpu::MemSpan origin,
+                                           gpu::MemSpan target);
 
   /// Non-blocking completion check; may retire internal bookkeeping for
   /// completed tickets (the fusion scheduler recycles the request slot).

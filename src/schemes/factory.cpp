@@ -1,13 +1,6 @@
 #include "schemes/factory.hpp"
 
-#include "common/check.hpp"
-#include "schemes/adaptive_gdr.hpp"
-#include "schemes/cpu_gpu_hybrid.hpp"
-#include "schemes/fusion_engine.hpp"
-#include "schemes/gpu_async.hpp"
-#include "schemes/gpu_sync.hpp"
-#include "schemes/hybrid_fusion.hpp"
-#include "schemes/naive_copy.hpp"
+#include "schemes/solver.hpp"
 
 namespace dkf::schemes {
 
@@ -28,28 +21,10 @@ std::string_view schemeName(Scheme s) {
 std::unique_ptr<DdtEngine> makeEngine(Scheme scheme, sim::Engine& eng,
                                       sim::CpuTimeline& cpu, gpu::Gpu& gpu,
                                       core::FusionPolicy tuned_policy) {
-  switch (scheme) {
-    case Scheme::GpuSync:
-      return std::make_unique<GpuSyncEngine>(eng, cpu, gpu);
-    case Scheme::GpuAsync:
-      return std::make_unique<GpuAsyncEngine>(eng, cpu, gpu);
-    case Scheme::CpuGpuHybrid:
-      return std::make_unique<CpuGpuHybridEngine>(eng, cpu, gpu);
-    case Scheme::NaiveCopy:
-      return std::make_unique<NaiveCopyEngine>(eng, cpu, gpu);
-    case Scheme::AdaptiveGdr:
-      return std::make_unique<AdaptiveGdrEngine>(eng, cpu, gpu);
-    case Scheme::Proposed:
-      return std::make_unique<FusionEngine>(eng, cpu, gpu, core::FusionPolicy{},
-                                            "Proposed");
-    case Scheme::ProposedTuned:
-      return std::make_unique<FusionEngine>(eng, cpu, gpu, tuned_policy,
-                                            "Proposed-Tuned");
-    case Scheme::ProposedHybrid:
-      return std::make_unique<HybridFusionEngine>(eng, cpu, gpu);
-  }
-  DKF_CHECK_MSG(false, "unknown scheme");
-  return nullptr;
+  // Each scheme's engine factory now lives with its solver; the registry
+  // replaces the old per-scheme switch.
+  return SolverRegistry::instance().at(scheme).makeEngine(eng, cpu, gpu,
+                                                          tuned_policy);
 }
 
 }  // namespace dkf::schemes

@@ -67,6 +67,34 @@ sim::Task<Ticket> FusionEngine::submitDirect(ddt::LayoutPtr src_layout,
   // back to pack + transfer + unpack for DirectIPC, matching the paper.
 }
 
+sim::Task<Ticket> FusionEngine::submitPlanStep(const core::CompiledPlan& plan,
+                                               std::size_t step,
+                                               ddt::LayoutPtr live_layout,
+                                               ddt::LayoutPtr live_target,
+                                               gpu::MemSpan origin,
+                                               gpu::MemSpan target) {
+  const core::CompiledStep& s = plan.steps.at(step);
+  Ticket t = co_await enqueueOrFallback(
+      s.bind(live_layout, live_target, origin, target));
+  if (t.valid()) co_return t;
+  if (s.op == core::FusionOp::DirectIPC) {
+    co_return t;  // invalid ticket propagates; the runtime re-plans as
+                  // pack + transfer + unpack (same as submitDirect)
+  }
+  // Request list full: run this one synchronously (§IV-A2 ①), exactly as
+  // the per-message entry points do.
+  ++fallbacks_;
+  if (s.op == core::FusionOp::Packing) {
+    co_await fallback_path_.submitPack(std::move(live_layout), origin, target);
+  } else {
+    co_await fallback_path_.submitUnpack(std::move(live_layout), origin,
+                                         target);
+  }
+  breakdown_ += fallback_path_.breakdown();
+  fallback_path_.breakdown().reset();
+  co_return Ticket{next_fallback_id_++};
+}
+
 bool FusionEngine::done(const Ticket& t) {
   if (!t.valid()) return false;
   if (t.id >= kFallbackBase) return true;  // fallback ops are synchronous

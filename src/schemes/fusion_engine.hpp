@@ -42,6 +42,14 @@ class FusionEngine final : public DdtEngine {
   sim::Task<Ticket> submitDirect(ddt::LayoutPtr src_layout, gpu::MemSpan src,
                                  ddt::LayoutPtr dst_layout,
                                  gpu::MemSpan dst) override;
+  /// Compiled-plan path: the step template binds straight into a request —
+  /// no per-message op dispatch — and enqueues with the same full-list
+  /// fallback semantics as the submit* entry points.
+  sim::Task<Ticket> submitPlanStep(const core::CompiledPlan& plan,
+                                   std::size_t step, ddt::LayoutPtr live_layout,
+                                   ddt::LayoutPtr live_target,
+                                   gpu::MemSpan origin,
+                                   gpu::MemSpan target) override;
   bool done(const Ticket& t) override;
   sim::Task<void> progress() override;
   sim::Task<void> flush() override;

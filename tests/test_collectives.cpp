@@ -3,8 +3,11 @@
 // validated against a host oracle across multiple roots and sizes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "hw/cluster.hpp"
 #include "hw/machines.hpp"
@@ -277,6 +280,153 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+// ---- Min/Max over both element types, reduce and allreduce ----
+//
+// Regression matrix for the silent-combine bug: `combine` returned `a` for
+// any ReduceOp it did not handle, so Min/Max "succeeded" with rank-0 data.
+
+/// Deterministic per-(rank, elem) value with negatives and, for Float64,
+/// fractional parts — so Min/Max differ from Sum and from rank 0's data.
+double sourceValue(int rank, std::size_t i, ReduceType type) {
+  const double base = static_cast<double>((rank * 7 + static_cast<int>(i)) % 13) - 6.0;
+  return type == ReduceType::Float64 ? base + 0.25 * rank : base;
+}
+
+struct MinMaxCase {
+  bool all{false};  // allreduce vs reduce-to-root
+  ReduceOp op{ReduceOp::Min};
+  ReduceType type{ReduceType::Float64};
+};
+
+class ReduceMinMax : public ::testing::TestWithParam<MinMaxCase> {};
+
+TEST_P(ReduceMinMax, MatchesElementwiseOracle) {
+  const MinMaxCase c = GetParam();
+  CollWorld w;
+  constexpr std::size_t kCount = 24;
+  constexpr int kRoot = 2;
+  std::vector<gpu::MemSpan> bufs;
+  for (int r = 0; r < w.rt.worldSize(); ++r) {
+    auto b = w.rt.proc(r).allocDevice(kCount * 8);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      const double v = sourceValue(r, i, c.type);
+      if (c.type == ReduceType::Float64) {
+        reinterpret_cast<double*>(b.bytes.data())[i] = v;
+      } else {
+        reinterpret_cast<std::int64_t*>(b.bytes.data())[i] =
+            static_cast<std::int64_t>(v);
+      }
+    }
+    bufs.push_back(b);
+  }
+  std::vector<double> expect(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    double acc = sourceValue(0, i, c.type);
+    for (int r = 1; r < 8; ++r) {
+      const double v = sourceValue(r, i, c.type);
+      acc = c.op == ReduceOp::Min ? std::min(acc, v) : std::max(acc, v);
+    }
+    expect[i] = acc;
+  }
+  for (int r = 0; r < w.rt.worldSize(); ++r) {
+    w.eng.spawn([](Proc& p, gpu::MemSpan b, MinMaxCase cs) -> sim::Task<void> {
+      if (cs.all) {
+        co_await allreduce(p, b, kCount, cs.type, cs.op);
+      } else {
+        co_await reduce(p, b, kCount, cs.type, cs.op, kRoot);
+      }
+    }(w.rt.proc(r), bufs[r], c));
+  }
+  w.eng.run();
+  ASSERT_EQ(w.eng.unfinishedTasks(), 0u);
+  for (int r = 0; r < w.rt.worldSize(); ++r) {
+    if (!c.all && r != kRoot) continue;  // reduce: result only on root
+    for (std::size_t i = 0; i < kCount; ++i) {
+      const double got =
+          c.type == ReduceType::Float64
+              ? reinterpret_cast<const double*>(bufs[r].bytes.data())[i]
+              : static_cast<double>(reinterpret_cast<const std::int64_t*>(
+                    bufs[r].bytes.data())[i]);
+      const double want = c.type == ReduceType::Float64
+                              ? expect[i]
+                              : std::trunc(expect[i]);
+      ASSERT_DOUBLE_EQ(got, want) << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndTypes, ReduceMinMax,
+    ::testing::Values(MinMaxCase{false, ReduceOp::Min, ReduceType::Float64},
+                      MinMaxCase{false, ReduceOp::Min, ReduceType::Int64},
+                      MinMaxCase{false, ReduceOp::Max, ReduceType::Float64},
+                      MinMaxCase{false, ReduceOp::Max, ReduceType::Int64},
+                      MinMaxCase{true, ReduceOp::Min, ReduceType::Float64},
+                      MinMaxCase{true, ReduceOp::Min, ReduceType::Int64},
+                      MinMaxCase{true, ReduceOp::Max, ReduceType::Float64},
+                      MinMaxCase{true, ReduceOp::Max, ReduceType::Int64}),
+    [](const ::testing::TestParamInfo<MinMaxCase>& pinfo) {
+      const MinMaxCase& c = pinfo.param;
+      std::string n = c.all ? "Allreduce" : "Reduce";
+      n += c.op == ReduceOp::Min ? "Min" : "Max";
+      n += c.type == ReduceType::Float64 ? "Float64" : "Int64";
+      return n;
+    });
+
+// ---- Guard rails: undersized buffers and unhandled enumerators fail loudly
+
+TEST(Gather, UndersizedSendBufferFailsCheck) {
+  // Regression: gather read `bytes_per_rank` from `send` with no size
+  // check — an undersized span was silent out-of-bounds traffic.
+  CollWorld w;
+  constexpr std::size_t kBytes = 256;
+  std::vector<gpu::MemSpan> sends;
+  for (int r = 0; r < w.rt.worldSize(); ++r) {
+    sends.push_back(w.rt.proc(r).allocDevice(kBytes / 2));  // too small
+  }
+  auto recv = w.rt.proc(0).allocDevice(kBytes * 8);
+  const auto drive = [&] {
+    for (int r = 0; r < w.rt.worldSize(); ++r) {
+      w.eng.spawn(
+          [](Proc& p, gpu::MemSpan s, gpu::MemSpan d) -> sim::Task<void> {
+            co_await gather(p, s, d, kBytes, 0);
+          }(w.rt.proc(r), sends[r], recv));
+    }
+    w.eng.run();
+  };
+  EXPECT_THROW(drive(), CheckFailure);
+}
+
+TEST(Reduce, UnhandledReduceOpFailsCheck) {
+  // Regression: `combine` silently returned `a` for ops outside its
+  // switch; now every unhandled enumerator is a loud CheckFailure.
+  CollWorld w;
+  const auto drive = [&] {
+    for (int r = 0; r < w.rt.worldSize(); ++r) {
+      w.eng.spawn([](Proc& p, gpu::MemSpan b) -> sim::Task<void> {
+        co_await allreduce(p, b, 8, ReduceType::Float64,
+                           static_cast<ReduceOp>(99));
+      }(w.rt.proc(r), w.rt.proc(r).allocDevice(64)));
+    }
+    w.eng.run();
+  };
+  EXPECT_THROW(drive(), CheckFailure);
+}
+
+TEST(Reduce, UnhandledReduceTypeFailsCheck) {
+  CollWorld w;
+  const auto drive = [&] {
+    for (int r = 0; r < w.rt.worldSize(); ++r) {
+      w.eng.spawn([](Proc& p, gpu::MemSpan b) -> sim::Task<void> {
+        co_await reduce(p, b, 8, static_cast<ReduceType>(99), ReduceOp::Sum,
+                        0);
+      }(w.rt.proc(r), w.rt.proc(r).allocDevice(64)));
+    }
+    w.eng.run();
+  };
+  EXPECT_THROW(drive(), CheckFailure);
+}
 
 }  // namespace
 }  // namespace dkf::mpi

@@ -3,12 +3,14 @@
 // signalling, and the <=2 us/message scheduler-overhead claim (§V-B).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/request_list.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/cpu.hpp"
 #include "ddt/datatype.hpp"
 #include "hw/machines.hpp"
@@ -415,6 +417,85 @@ TEST_F(SchedulerTest, MaxRequestCapSplitsBatches) {
   // Cap fires at 4 pending (twice); flush picks up the 9th.
   EXPECT_EQ(sched.fusedKernelsLaunched(), 3u);
   EXPECT_EQ(sched.requestsFused(), 9u);
+}
+
+/// Total backoff the retry loop sleeps for `retries` failed attempts under
+/// the clamped exponential policy: base << attempt, ceiling at `cap`.
+DurationNs expectedBackoffSum(DurationNs base, DurationNs cap,
+                              std::size_t retries) {
+  DurationNs total = 0;
+  DurationNs step = base;
+  for (std::size_t a = 0; a < retries; ++a) {
+    total += std::min(step, cap);
+    if (step < cap) step *= 2;
+  }
+  return total;
+}
+
+TEST_F(SchedulerTest, RetryBackoffStaysClampedPastShiftWidth) {
+  // Regression: the retry loop computed `launch_retry_backoff << attempt`
+  // with no bound — undefined behaviour once `attempt` reaches the width
+  // of DurationNs (max_launch_attempts is policy, not a constant), and
+  // hours of virtual sleep well before that. Drive 69 consecutive injected
+  // launch failures (attempts 0..68, past the 64-bit width) and pin total
+  // virtual time to the clamped-backoff sum.
+  FusionPolicy policy;
+  policy.max_launch_attempts = 70;
+  fault::FaultSpec fs;
+  fs.launch_failure = 1.0;
+  fs.max_launch_failures = 69;  // the 70th attempt succeeds
+  fault::FaultPlan plan(eng_, fs);
+  gpu_.setFaultPlan(&plan);
+
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  std::int64_t uid = -1;
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t,
+                std::int64_t& out) -> sim::Task<void> {
+    out = co_await s.enqueue(t.packReq(1024));
+    co_await s.flush();
+  }(sched, *this, uid));
+  eng_.run();
+
+  EXPECT_TRUE(sched.query(uid));
+  EXPECT_EQ(sched.counters().launch_failures, 69u);
+  EXPECT_EQ(sched.counters().cpu_fallback_batches, 0u);
+  EXPECT_EQ(sched.fusedKernelsLaunched(), 1u);
+  const DurationNs floor = expectedBackoffSum(
+      policy.launch_retry_backoff, policy.max_launch_retry_backoff, 69);
+  EXPECT_GE(eng_.now(), floor);
+  // Unclamped, attempt 32 alone would sleep base << 32 ~ 2.4 hours of
+  // virtual time; the clamped schedule finishes in ~120 ms plus work.
+  EXPECT_LE(eng_.now(), floor + ms(5));
+}
+
+TEST_F(SchedulerTest, ExhaustedRetriesReachCpuFallbackInBoundedTime) {
+  // Same clamp, failure never heals: after max_launch_attempts the batch
+  // must land on the CPU fallback path, again in clamped-backoff time.
+  FusionPolicy policy;
+  policy.max_launch_attempts = 70;
+  fault::FaultSpec fs;
+  fs.launch_failure = 1.0;  // every attempt fails, forever
+  fault::FaultPlan plan(eng_, fs);
+  gpu_.setFaultPlan(&plan);
+
+  FusionScheduler sched(eng_, cpu_, gpu_, policy);
+  std::int64_t uid = -1;
+  eng_.spawn([](FusionScheduler& s, SchedulerTest& t,
+                std::int64_t& out) -> sim::Task<void> {
+    out = co_await s.enqueue(t.packReq(1024));
+    co_await s.flush();
+  }(sched, *this, uid));
+  eng_.run();
+
+  EXPECT_TRUE(sched.query(uid));
+  EXPECT_EQ(sched.counters().launch_failures, 70u);
+  EXPECT_EQ(sched.counters().cpu_fallback_batches, 1u);
+  EXPECT_EQ(sched.counters().cpu_fallback_requests, 1u);
+  EXPECT_EQ(sched.fusedKernelsLaunched(), 0u);
+  const DurationNs floor = expectedBackoffSum(
+      policy.launch_retry_backoff, policy.max_launch_retry_backoff, 69);
+  EXPECT_GE(eng_.now(), floor);
+  EXPECT_LE(eng_.now(), floor + ms(5));
 }
 
 }  // namespace

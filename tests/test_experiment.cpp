@@ -97,6 +97,11 @@ TEST(ExperimentShape, FusionLaunchesFarFewerKernelsThanOpsSubmitted) {
   const double ops = 64.0 * (cfg.iterations + cfg.warmup);
   EXPECT_LT(static_cast<double>(result.fused_kernels), ops / 3.0);
   EXPECT_EQ(result.fallbacks, 0u);
+  // Repeat-layout traffic: each rank compiles its pack and unpack plan
+  // once; every later message resolves from the plan cache.
+  EXPECT_LE(result.plan_cache.misses, 4u);
+  EXPECT_GT(result.plan_cache.hits, result.plan_cache.misses);
+  EXPECT_EQ(result.plan_cache.fallbacks, 0u);
 }
 
 TEST(ExperimentShape, BreakdownCategoriesConsistent) {
