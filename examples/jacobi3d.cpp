@@ -101,8 +101,7 @@ sim::Task<void> rankSolve(mpi::Proc& proc, workloads::HaloExchanger& ex,
     // Global convergence check.
     *reinterpret_cast<double*>(residual_buf.bytes.data()) = local;
     co_await mpi::allreduce(proc, residual_buf, 1, mpi::ReduceType::Float64,
-                            mpi::ReduceOp::Max,
-                            (1 << 22) + iter * 1024);
+                            mpi::ReduceOp::Max);
     global_residual =
         *reinterpret_cast<const double*>(residual_buf.bytes.data());
   }

@@ -41,8 +41,14 @@ unsigned setSweepThreads(unsigned n) {
 }
 
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  const unsigned threads =
-      static_cast<unsigned>(std::min<std::size_t>(sweepThreadCount(), n));
+  parallelFor(n, 0, fn);
+}
+
+void parallelFor(std::size_t n, std::size_t max_workers,
+                 const std::function<void(std::size_t)>& fn) {
+  std::size_t want = std::min<std::size_t>(sweepThreadCount(), n);
+  if (max_workers > 0) want = std::min(want, max_workers);
+  const unsigned threads = static_cast<unsigned>(want);
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -35,4 +35,10 @@ unsigned setSweepThreads(unsigned n);
 /// pool joins.
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+/// Same, but never more than `max_workers` threads (0 = no extra cap).
+/// Sweeps whose cells hold large working sets (thousand-rank collective
+/// worlds) cap the fan-out so peak memory stays bounded.
+void parallelFor(std::size_t n, std::size_t max_workers,
+                 const std::function<void(std::size_t)>& fn);
+
 }  // namespace dkf::bench

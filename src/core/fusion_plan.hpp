@@ -130,6 +130,20 @@ struct PlanCacheCounters {
   std::size_t misses{0};
   std::size_t evictions{0};
   std::size_t fallbacks{0};
+
+  /// Summing across ranks (benches report whole-world cache traffic).
+  PlanCacheCounters& operator+=(const PlanCacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    fallbacks += o.fallbacks;
+    return *this;
+  }
+
+  double hitRate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
 };
 
 /// LRU memo of compiled plans, operationally modeled on ddt::LayoutCache:
@@ -159,6 +173,11 @@ class PlanCache {
 
   /// Drop all entries and reset the counters.
   void clear();
+
+  /// Zero the counters, keeping the resident entries — benches call this
+  /// after a warmup pass so the reported hit rate covers only measured
+  /// traffic (compiled plans stay hot).
+  void resetCounters() { counters_ = PlanCacheCounters{}; }
 
   /// Attach a tracer (nullptr detaches): resident entries/bytes and the
   /// hit/miss counts become counter series named "<name>.*" sampled at

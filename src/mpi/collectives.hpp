@@ -1,20 +1,32 @@
-// Collective operations layered on the point-to-point runtime.
+// Fusion-aware collective operations layered on the point-to-point runtime.
 //
 // The halo applications the paper targets use neighborhood collectives
 // (MPI_Neighbor_alltoallw is exactly "send one derived-datatype face to
 // each neighbor"), and the MVAPICH context the fusion framework ships in
-// provides the full collective set. These implementations are textbook
-// algorithms built purely on isend/irecv/waitall, so every collective's
-// non-contiguous traffic automatically flows through the configured DDT
-// engine — a neighbor_alltoallw over subarray types is the fusion
-// framework's best case.
+// provides the full collective set. The v-collectives here route derived-
+// datatype traffic over selectable topologies (MODEL.md §12):
 //
-//   bcast            binomial tree
-//   reduce           binomial tree (data actually reduced)
-//   allreduce        reduce + bcast
-//   gather           flat to root
-//   alltoall         posted pairwise exchange
-//   neighborAlltoallw  per-neighbor derived datatypes (halo collective)
+//   flat   direct sends to every peer (the seed's textbook algorithms)
+//   ring   staged pairwise/ring exchange, two messages in flight per step
+//   tree   k-ary range tree (gather/bcast) or radix-digit store-and-forward
+//          (alltoallv), pinned child order = increasing rank
+//
+// The pack/unpack stage of every hop is compiled once per distinct layout
+// signature through the PR 5 FusionPlan/PlanCache — collectives pre-resolve
+// their block plans before the peer loop, so all destinations sharing a
+// layout signature execute one cached CompiledPlan instead of re-running
+// the solver per peer.
+//
+// Determinism: every reduction folds the ranks' raw contributions in
+// absolute rank order 0..n-1 no matter which topology carried them, so
+// Float64 results are byte-identical across flat/ring/tree and across
+// sweep threads (FP addition is non-associative; a topology-shaped combine
+// order would make the algorithms disagree in the last ulp).
+//
+// Tags: each collective invocation reserves a fresh tag span from
+// Proc::allocCollectiveTags — no fixed `1 << 2x` bases, so concurrent
+// collectives at large rank counts cannot collide (the seed's allreduce
+// overflowed its reduce phase into its bcast phase past ~2k ranks).
 //
 // All take a `Comm`-like participant list: a contiguous range of ranks
 // [0, nranks) of the runtime (the benchmarks' world).
@@ -34,32 +46,84 @@ enum class ReduceOp { Sum, Min, Max };
 /// bytes).
 enum class ReduceType { Float64, Int64 };
 
+/// Which topology a collective routes over.
+enum class CollAlgo { Flat, Ring, Tree };
+
+const char* collAlgoName(CollAlgo algo);
+
+/// Per-invocation algorithm selection. `radix` is the tree fan-out (k-ary
+/// range tree for gather/bcast-shaped collectives, digit base for the
+/// store-and-forward alltoallv); it must be >= 2 and is ignored by the
+/// flat and ring variants.
+struct CollTuning {
+  CollAlgo algo{CollAlgo::Tree};
+  int radix{2};
+};
+
+/// One rank's slice of a v-collective buffer: `count` elements of `type`
+/// starting `offset` bytes into the buffer. The layout's extent must fit
+/// inside the buffer and may not reach below the offset (minOffset >= 0).
+struct VBlock {
+  ddt::DatatypePtr type;
+  std::size_t count{1};
+  std::size_t offset{0};
+};
+
 /// Broadcast `count` elements of `type` from `root` over a binomial tree.
 /// Every rank calls this with its own proc and buffer.
 sim::Task<void> bcast(Proc& proc, gpu::MemSpan buf, ddt::DatatypePtr type,
-                      std::size_t count, int root, int tag_base = 1 << 20);
+                      std::size_t count, int root);
 
-/// Reduce element-wise into root's buffer (binomial tree). `buf` holds the
-/// rank's contribution on entry; on the root it holds the result on exit.
+/// Reduce element-wise into root's buffer. `buf` holds the rank's
+/// contribution on entry; on the root it holds the result on exit (other
+/// ranks' buffers are left untouched). The combine folds contributions in
+/// absolute rank order regardless of `tuning`.
 sim::Task<void> reduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
                        ReduceType type, ReduceOp op, int root,
-                       int tag_base = 1 << 21);
+                       const CollTuning& tuning = {});
 
-/// Allreduce = reduce to rank 0 + bcast.
+/// Allreduce over contiguous elements; result lands on every rank.
 sim::Task<void> allreduce(Proc& proc, gpu::MemSpan buf, std::size_t count,
                           ReduceType type, ReduceOp op,
-                          int tag_base = 1 << 22);
+                          const CollTuning& tuning = {});
+
+/// Derived-datatype allreduce: the elements selected by (type, count) over
+/// `buf` — packed order — are reduced element-wise across ranks and the
+/// result is scattered back through the same layout. The packed size must
+/// be a whole number of `elem` elements.
+sim::Task<void> allreduceDdt(Proc& proc, gpu::MemSpan buf,
+                             ddt::DatatypePtr type, std::size_t count,
+                             ReduceType elem, ReduceOp op,
+                             const CollTuning& tuning = {});
 
 /// Gather `bytes_per_rank` from every rank into root's `recv` buffer
 /// (rank-major).
 sim::Task<void> gather(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
-                       std::size_t bytes_per_rank, int root,
-                       int tag_base = 1 << 23);
+                       std::size_t bytes_per_rank, int root);
 
 /// All ranks exchange `bytes_per_rank` with every other rank; `send` and
 /// `recv` are rank-major matrices of worldSize() blocks.
 sim::Task<void> alltoall(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
-                         std::size_t bytes_per_rank, int tag_base = 1 << 24);
+                         std::size_t bytes_per_rank);
+
+/// Derived-datatype alltoallv: send_blocks[d] describes the block this
+/// rank sends to rank d inside `send`; recv_blocks[s] describes where the
+/// block from rank s lands inside `recv` (both vectors are worldSize()
+/// long; the self block is moved locally through the same pack/unpack
+/// plans). Matching blocks must have equal packed sizes.
+sim::Task<void> alltoallv(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                          const std::vector<VBlock>& send_blocks,
+                          const std::vector<VBlock>& recv_blocks,
+                          const CollTuning& tuning = {});
+
+/// Derived-datatype allgatherv: every rank contributes the block
+/// `blocks[rank]` read from its own `send` buffer, and every rank's `recv`
+/// buffer receives all n contributions, each unpacked through its own
+/// blocks[r] (identical send/recv type maps; `blocks` is worldSize() long
+/// and identical on every rank, so all block sizes are locally known).
+sim::Task<void> allgatherv(Proc& proc, gpu::MemSpan send, gpu::MemSpan recv,
+                           const std::vector<VBlock>& blocks,
+                           const CollTuning& tuning = {});
 
 /// Neighborhood alltoall-w: for each neighbor i, send `send_types[i]` from
 /// `buf` and receive `recv_types[i]` into `buf` — the derived-datatype halo
@@ -73,7 +137,6 @@ struct NeighborOp {
   int recv_tag;
 };
 sim::Task<void> neighborAlltoallw(Proc& proc, gpu::MemSpan buf,
-                                  const std::vector<NeighborOp>& ops,
-                                  int tag_base = 1 << 25);
+                                  const std::vector<NeighborOp>& ops);
 
 }  // namespace dkf::mpi

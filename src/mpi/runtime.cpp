@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/check.hpp"
 #include "schemes/solver.hpp"
@@ -30,6 +31,18 @@ Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
 int Proc::worldSize() const { return rt_->worldSize(); }
 
 sim::Engine& Proc::engine() { return rt_->engine(); }
+
+const RuntimeConfig& Proc::config() const { return rt_->config(); }
+
+int Proc::allocCollectiveTags(int span) {
+  DKF_CHECK(span > 0);
+  const int base = next_collective_tag_;
+  DKF_CHECK_MSG(span <= std::numeric_limits<int>::max() - base,
+                "collective tag space exhausted: next tag " << base
+                    << " cannot reserve a span of " << span);
+  next_collective_tag_ = base + span;
+  return base;
+}
 
 gpu::MemSpan Proc::allocDevice(std::size_t bytes) {
   return gpu_->memory().allocate(bytes);

@@ -82,6 +82,13 @@ struct RuntimeConfig {
 
 class Runtime;
 
+/// First tag of the collective tag space. Tags below it belong to the
+/// application's point-to-point traffic; everything at or above is handed
+/// out by Proc::allocCollectiveTags. (The seed hard-coded one `1 << 2x`
+/// base per collective, which collided once a collective's per-rank tags
+/// spilled into the next base — at ~2k ranks for allreduce.)
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
 class Proc {
  public:
   Proc(Runtime& rt, int rank, gpu::Gpu& gpu);
@@ -141,6 +148,18 @@ class Proc {
 
   /// Reliable-transport counters (all zero when reliability is off).
   const TransportCounters& transport() const { return transport_; }
+
+  /// The runtime's configuration (collectives read the preferred scheme
+  /// when pre-compiling their per-hop fusion plans).
+  const RuntimeConfig& config() const;
+
+  /// Reserve `span` consecutive tags for one collective invocation and
+  /// return the first. The counter is per-rank but stays synchronized
+  /// across the world because collectives are invoked in the same order on
+  /// every rank (the MPI ordering rule); concurrent collectives therefore
+  /// always draw disjoint spans. DKF_CHECK-fails on exhaustion instead of
+  /// wrapping into live tag ranges.
+  int allocCollectiveTags(int span);
 
  private:
   friend class Runtime;
@@ -232,6 +251,9 @@ class Proc {
   };
   std::deque<UnexpectedEager> unexpected_eager_;
   std::deque<RequestPtr> unexpected_rts_;   // sender reqs awaiting a match
+
+  // Next unissued collective tag (see allocCollectiveTags).
+  int next_collective_tag_{kCollectiveTagBase};
 
   // Reliable-transport state.
   TransportCounters transport_;

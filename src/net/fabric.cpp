@@ -15,21 +15,22 @@ Fabric::Fabric(sim::Engine& eng, const hw::MachineSpec& machine,
                std::size_t nodes)
     : eng_(&eng), machine_(machine), nodes_(nodes) {
   DKF_CHECK(nodes > 0);
+  // Channels materialize on first use: a 1024-node cluster declares a
+  // million ordered pairs, but a tree collective touches a few thousand.
   links_.resize(nodes * nodes);
-  for (std::size_t s = 0; s < nodes; ++s) {
-    for (std::size_t d = 0; d < nodes; ++d) {
-      const hw::LinkSpec& spec =
-          s == d ? machine_.node.gpu_gpu : machine_.internode;
-      links_[s * nodes + d] = std::make_unique<Link>(eng, spec);
-    }
-  }
 }
 
 Link& Fabric::linkBetween(int src_node, int dst_node) {
   DKF_CHECK(src_node >= 0 && static_cast<std::size_t>(src_node) < nodes_);
   DKF_CHECK(dst_node >= 0 && static_cast<std::size_t>(dst_node) < nodes_);
-  return *links_[static_cast<std::size_t>(src_node) * nodes_ +
-                 static_cast<std::size_t>(dst_node)];
+  auto& slot = links_[static_cast<std::size_t>(src_node) * nodes_ +
+                      static_cast<std::size_t>(dst_node)];
+  if (!slot) {
+    const hw::LinkSpec& spec =
+        src_node == dst_node ? machine_.node.gpu_gpu : machine_.internode;
+    slot = std::make_unique<Link>(*eng_, spec);
+  }
+  return *slot;
 }
 
 void Fabric::traceTransfer(int src_node, int dst_node, const char* what,
@@ -201,13 +202,17 @@ TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
 
 std::size_t Fabric::totalBytesCarried() const {
   std::size_t total = 0;
-  for (const auto& l : links_) total += l->bytesCarried();
+  for (const auto& l : links_) {
+    if (l) total += l->bytesCarried();
+  }
   return total;
 }
 
 std::size_t Fabric::totalMessages() const {
   std::size_t total = 0;
-  for (const auto& l : links_) total += l->messagesCarried();
+  for (const auto& l : links_) {
+    if (l) total += l->messagesCarried();
+  }
   return total;
 }
 

@@ -428,5 +428,81 @@ TEST(Reduce, UnhandledReduceTypeFailsCheck) {
   EXPECT_THROW(drive(), CheckFailure);
 }
 
+// ---- Per-collective tag allocator ---------------------------------------
+
+TEST(CollectiveTags, SpansAreDisjointAndMonotone) {
+  CollWorld w;
+  auto& p = w.rt.proc(0);
+  const int a = p.allocCollectiveTags(8);
+  EXPECT_EQ(a, kCollectiveTagBase);
+  const int b = p.allocCollectiveTags(16);
+  EXPECT_EQ(b, a + 8);
+  const int c = p.allocCollectiveTags(1);
+  EXPECT_EQ(c, b + 16);
+  // The allocator is per-rank state; rank 1 starts at the base too.
+  EXPECT_EQ(w.rt.proc(1).allocCollectiveTags(4), kCollectiveTagBase);
+}
+
+TEST(CollectiveTags, ZeroSpanFailsCheck) {
+  CollWorld w;
+  EXPECT_THROW(w.rt.proc(0).allocCollectiveTags(0), CheckFailure);
+}
+
+TEST(CollectiveTags, ExhaustionFailsCheckInsteadOfWrapping) {
+  CollWorld w;
+  auto& p = w.rt.proc(0);
+  const auto exhaust = [&] {
+    for (int i = 0; i < 4096; ++i) {
+      p.allocCollectiveTags(1 << 20);
+    }
+  };
+  EXPECT_THROW(exhaust(), CheckFailure);
+}
+
+TEST(CollectiveTags, AllreducePastOldTagBoundary) {
+  // Regression for the seed's fixed tag bases: allreduce gave its bcast
+  // phase tags at `tag_base + (1 << 10)`, so past ~2k ranks the reduce
+  // phase's `tag_base + rank` tags collided with them and payloads crossed
+  // phases. 2304 ranks is past that boundary; with per-invocation tag
+  // spans the result must still match the exact rank-order fold.
+  constexpr int kRanks = 2304;
+  sim::Engine eng;
+  hw::MachineSpec machine = hw::lassen();
+  machine.node.gpus_per_node = 32;  // 72 nodes
+  machine.node.gpu.arena_bytes = 64u << 10;
+  hw::Cluster cluster(eng, machine, kRanks / 32);
+  Runtime rt(cluster, [] {
+    RuntimeConfig cfg;
+    cfg.scheme = schemes::Scheme::Proposed;
+    return cfg;
+  }());
+  ASSERT_EQ(rt.worldSize(), kRanks);
+
+  std::vector<gpu::MemSpan> bufs;
+  bufs.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    auto b = rt.proc(r).allocDevice(8);
+    *reinterpret_cast<double*>(b.bytes.data()) =
+        static_cast<double>(r) + 0.25;
+    bufs.push_back(b);
+  }
+  rt.runAll([&](Proc& p) -> sim::Task<void> {
+    co_await allreduce(p, bufs[static_cast<std::size_t>(p.rank())], 1,
+                       ReduceType::Float64, ReduceOp::Sum,
+                       {CollAlgo::Tree, 2});
+  });
+  ASSERT_EQ(eng.unfinishedTasks(), 0u);
+  // Sum of r + 0.25 over r in [0, 2304): every partial sum is an exact
+  // multiple of 0.25 well under 2^52, so the fold is exact and the
+  // comparison can demand equality.
+  const double expect = static_cast<double>(kRanks) *
+                            static_cast<double>(kRanks - 1) / 2.0 +
+                        0.25 * static_cast<double>(kRanks);
+  for (int r = 0; r < kRanks; r += 289) {
+    EXPECT_EQ(*reinterpret_cast<const double*>(bufs[r].bytes.data()), expect)
+        << "rank " << r;
+  }
+}
+
 }  // namespace
 }  // namespace dkf::mpi

@@ -16,6 +16,7 @@
 #include "fault/fault_plan.hpp"
 #include "hw/cluster.hpp"
 #include "hw/machines.hpp"
+#include "mpi/collectives.hpp"
 #include "mpi/runtime.hpp"
 #include "schemes/factory.hpp"
 #include "workloads/workloads.hpp"
@@ -213,6 +214,170 @@ TEST_P(SchemeConformance, ByteIdenticalIntraNodeUnderLoss) {
 
 INSTANTIATE_TEST_SUITE_P(
     All, SchemeConformance, ::testing::ValuesIn(schemes::kAllSchemes),
+    [](const ::testing::TestParamInfo<schemes::Scheme>& param_info) {
+      std::string name{schemes::schemeName(param_info.param)};
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Collective dimension: the ring and tree algorithms must reproduce the
+// flat (seed) algorithm byte-for-byte on the same inputs — alltoallv and
+// allgatherv with per-rank varying counts of a sparse derived datatype,
+// plus a Float64 derived-datatype allreduce (the canonical rank-order fold
+// makes the sum independent of which topology carried the contributions).
+// Checked per scheme, fault-free and under the same 12% lossy FaultPlan the
+// point-to-point conformance runs use.
+// ---------------------------------------------------------------------------
+
+/// Runs one 8-rank world through alltoallv + allgatherv + allreduceDdt with
+/// the given tuning and returns the concatenated receive/result images of
+/// every rank. Inputs depend only on `seed`, never on the tuning, so two
+/// snapshots with the same seed are comparable byte-for-byte.
+std::vector<std::byte> runCollectiveWorld(schemes::Scheme scheme,
+                                          mpi::CollTuning tuning, bool lossy,
+                                          std::uint64_t seed) {
+  constexpr int kRanks = 8;
+  const workloads::Workload blk = workloads::specfem3dOc(2);
+  const workloads::Workload red = workloads::nasMgFace(8);
+  const std::size_t ext1 = blk.type->extent();
+  // Per-pair v-counts: 1..3 elements of the sparse type, asymmetric in
+  // (src, dst) so every rank sends and receives differently sized blocks.
+  auto cnt = [](int s, int d) {
+    return static_cast<std::size_t>(1 + (s * 3 + d) % 3);
+  };
+  auto gcnt = [](int r) { return static_cast<std::size_t>(1 + r % 3); };
+
+  std::size_t ag_total = 0;
+  for (int r = 0; r < kRanks; ++r) ag_total += gcnt(r) * ext1;
+  const std::size_t red_region = red.regionBytes();
+
+  sim::Engine eng;
+  hw::MachineSpec machine = hw::lassen();
+  machine.node.gpus_per_node = 4;
+  const std::size_t per_rank =
+      kRanks * 3 * ext1 * 2 + ag_total * 2 + red_region + (2u << 20);
+  machine.node.gpu.arena_bytes = std::max<std::size_t>(per_rank, 4u << 20);
+  hw::Cluster cluster(eng, machine, 2);
+
+  std::optional<fault::FaultPlan> plan;
+  mpi::RuntimeConfig cfg;
+  cfg.scheme = scheme;
+  if (lossy) {
+    plan.emplace(eng, lossySpec(seed));
+    cluster.setFaultPlan(&*plan);
+    cfg.reliability.enabled = true;
+    cfg.reliability.base_timeout = us(40);
+    cfg.reliability.max_timeout = us(2000);
+    cfg.reliability.max_retries = 60;
+    eng.setWatchdog(sec(2));
+  }
+  mpi::Runtime rt(cluster, cfg);
+
+  struct RankBufs {
+    gpu::MemSpan a2a_send, a2a_recv, ag_send, ag_recv, red_buf;
+    std::vector<mpi::VBlock> sblocks, rblocks, gblocks;
+  };
+  std::vector<RankBufs> bufs(kRanks);
+  for (int me = 0; me < kRanks; ++me) {
+    auto& p = rt.proc(me);
+    auto& b = bufs[me];
+    std::size_t soff = 0;
+    std::size_t roff = 0;
+    for (int peer = 0; peer < kRanks; ++peer) {
+      b.sblocks.push_back({blk.type, cnt(me, peer), soff});
+      soff += cnt(me, peer) * ext1;
+      b.rblocks.push_back({blk.type, cnt(peer, me), roff});
+      roff += cnt(peer, me) * ext1;
+    }
+    std::size_t goff = 0;
+    for (int r = 0; r < kRanks; ++r) {
+      b.gblocks.push_back({blk.type, gcnt(r), goff});
+      goff += gcnt(r) * ext1;
+    }
+    b.a2a_send = p.allocDevice(soff);
+    b.a2a_recv = p.allocDevice(roff);
+    b.ag_send = p.allocDevice(ag_total);
+    b.ag_recv = p.allocDevice(ag_total);
+    b.red_buf = p.allocDevice(red_region);
+
+    Rng fill(seed * 0x100000001b3ull + static_cast<std::uint64_t>(me));
+    for (auto& byte : b.a2a_send.bytes) {
+      byte = static_cast<std::byte>(fill.below(256));
+    }
+    for (auto& byte : b.ag_send.bytes) {
+      byte = static_cast<std::byte>(fill.below(256));
+    }
+    std::memset(b.a2a_recv.bytes.data(), 0xAA, b.a2a_recv.size());
+    std::memset(b.ag_recv.bytes.data(), 0xAA, b.ag_recv.size());
+    // Finite, rank-distinct doubles for the reduction (raw random bytes
+    // could form NaNs, whose payload propagation is not worth pinning).
+    std::memset(b.red_buf.bytes.data(), 0, red_region);
+    auto* vals = reinterpret_cast<double*>(b.red_buf.bytes.data());
+    for (std::size_t i = 0; i < red_region / 8; ++i) {
+      vals[i] =
+          static_cast<double>(me * 4096) + static_cast<double>(i) * 0.25;
+    }
+  }
+
+  auto body = [&](mpi::Proc& p) -> sim::Task<void> {
+    auto& b = bufs[static_cast<std::size_t>(p.rank())];
+    co_await mpi::alltoallv(p, b.a2a_send, b.a2a_recv, b.sblocks, b.rblocks,
+                            tuning);
+    co_await mpi::allgatherv(p, b.ag_send, b.ag_recv, b.gblocks, tuning);
+    co_await mpi::allreduceDdt(p, b.red_buf, red.type, red.count,
+                               mpi::ReduceType::Float64, mpi::ReduceOp::Sum,
+                               tuning);
+  };
+  rt.runAll(body);
+  EXPECT_EQ(eng.unfinishedTasks(), 0u) << "collective deadlocked";
+
+  std::vector<std::byte> image;
+  for (const auto& b : bufs) {
+    image.insert(image.end(), b.a2a_recv.bytes.begin(), b.a2a_recv.bytes.end());
+    image.insert(image.end(), b.ag_recv.bytes.begin(), b.ag_recv.bytes.end());
+    image.insert(image.end(), b.red_buf.bytes.begin(), b.red_buf.bytes.end());
+  }
+  return image;
+}
+
+class CollectiveConformance
+    : public ::testing::TestWithParam<schemes::Scheme> {};
+
+TEST_P(CollectiveConformance, AlgorithmsByteIdenticalFaultFree) {
+  const std::uint64_t seed = 0x77;
+  const auto flat =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Flat, 2}, false, seed);
+  const auto ring =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Ring, 2}, false, seed);
+  const auto tree2 =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Tree, 2}, false, seed);
+  const auto tree3 =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Tree, 3}, false, seed);
+  ASSERT_EQ(flat.size(), ring.size());
+  ASSERT_EQ(flat.size(), tree2.size());
+  EXPECT_TRUE(ring == flat) << "ring diverges from the flat algorithm";
+  EXPECT_TRUE(tree2 == flat) << "tree (radix 2) diverges from flat";
+  EXPECT_TRUE(tree3 == flat) << "tree (radix 3) diverges from flat";
+}
+
+TEST_P(CollectiveConformance, AlgorithmsByteIdenticalUnderLoss) {
+  const std::uint64_t seed = 0x99;
+  const auto flat =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Flat, 2}, true, seed);
+  const auto ring =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Ring, 2}, true, seed);
+  const auto tree2 =
+      runCollectiveWorld(GetParam(), {mpi::CollAlgo::Tree, 2}, true, seed);
+  ASSERT_EQ(flat.size(), ring.size());
+  EXPECT_TRUE(ring == flat) << "ring diverges from flat under 12% loss";
+  EXPECT_TRUE(tree2 == flat) << "tree diverges from flat under 12% loss";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CollectiveConformance, ::testing::ValuesIn(schemes::kAllSchemes),
     [](const ::testing::TestParamInfo<schemes::Scheme>& param_info) {
       std::string name{schemes::schemeName(param_info.param)};
       for (char& c : name) {
