@@ -119,20 +119,23 @@ sim::Task<void> FusionScheduler::launchBatch() {
     op.dst = r.target.bytes;
     op_templates.push_back(std::move(op));
   }
-  const auto build_ops = [this, &batch, &op_templates] {
+  const auto build_ops = [&op_templates] {
     std::vector<gpu::Gpu::Op> ops;
     ops.reserve(op_templates.size());
-    for (std::size_t i = 0; i < op_templates.size(); ++i) {
-      gpu::Gpu::Op op = op_templates[i].clone();
-      // ③: the GPU thread block signals the response status directly.
-      RequestList* list = &list_;
-      const std::size_t slot_index = batch[i];
-      op.on_complete = [list, slot_index] {
-        list->signalCompletion(slot_index);
-      };
-      ops.push_back(std::move(op));
+    for (const gpu::Gpu::Op& tpl : op_templates) {
+      ops.push_back(tpl.clone());
     }
     return ops;
+  };
+  // ③: the GPU thread block signals the response status directly — one
+  // kernel-level fan-in hook for the whole batch instead of a captured
+  // closure per op (the batch->slot map is shared across retry attempts).
+  auto batch_slots = std::make_shared<std::vector<std::size_t>>(batch);
+  const auto completion_fanin = [this, batch_slots] {
+    return gpu::Gpu::OpCompleteFn(
+        [list = &list_, batch_slots](std::size_t op_index) {
+          list->signalCompletion((*batch_slots)[op_index]);
+        });
   };
 
   const TimeNs launch_begin = eng_->now();
@@ -142,7 +145,7 @@ sim::Task<void> FusionScheduler::launchBatch() {
     // ONE kernel launch overhead for the whole batch — the point of fusion.
     co_await cpu_->busy(gpu_->spec().kernel_launch_overhead);
     breakdown_.launching += gpu_->spec().kernel_launch_overhead;
-    handle = gpu_->launchKernel(stream_, build_ops());
+    handle = gpu_->launchKernel(stream_, build_ops(), completion_fanin());
     if (!handle.failed) break;
     ++counters_.launch_failures;
     if (tracer_ && tracer_->isEnabled()) {

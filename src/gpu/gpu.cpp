@@ -46,7 +46,8 @@ double Gpu::blockBandwidth(double efficiency, std::size_t active) const {
   return std::min(per_block_peak, share) * efficiency;
 }
 
-Gpu::KernelHandle Gpu::launchKernel(StreamId s, std::vector<Op> ops) {
+Gpu::KernelHandle Gpu::launchKernel(StreamId s, std::vector<Op> ops,
+                                    OpCompleteFn on_op_complete) {
   DKF_CHECK(s < streams_.size());
   DKF_CHECK(!ops.empty());
   if (faults_ && faults_->failLaunch()) {
@@ -129,24 +130,42 @@ Gpu::KernelHandle Gpu::launchKernel(StreamId s, std::vector<Op> ops) {
   sim::Gate* gate_ptr = gate.get();
   gates_.push_back(std::move(gate));
 
-  // Keep the ops alive until their completion events run the data movement.
-  auto shared_ops = std::make_shared<std::vector<Op>>(std::move(ops));
-  for (std::size_t i = 0; i < shared_ops->size(); ++i) {
-    eng_->scheduleAt(op_complete[i], [shared_ops, i] {
-      Op& op = (*shared_ops)[i];
-      switch (op.kind) {
-        case Op::Kind::Pack:
-          ddt::packCpu(*op.layout, op.src, op.dst);
-          break;
-        case Op::Kind::Unpack:
-          ddt::unpackCpu(*op.layout, op.src, op.dst);
-          break;
-        case Op::Kind::StridedCopy:
-          ddt::copyStrided(*op.layout, op.src, *op.dst_layout, op.dst);
-          break;
+  // Keep the ops (and the fan-in hook) alive until the completion events
+  // run the data movement.
+  struct KernelCtx {
+    std::vector<Op> ops;
+    OpCompleteFn on_op;
+  };
+  auto ctx = std::make_shared<KernelCtx>(
+      KernelCtx{std::move(ops), std::move(on_op_complete)});
+  // op_complete[] is non-decreasing in op index (blocks are emitted in op
+  // order, so a later op's last wave is never earlier). Ops finishing in
+  // the same wave used to get back-to-back events with contiguous seqs at
+  // one timestamp — nothing could pop between them — so running the whole
+  // equal-time run inside one event is order-identical and turns O(ops)
+  // events into O(waves).
+  for (std::size_t lo = 0; lo < ctx->ops.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < ctx->ops.size() && op_complete[hi] == op_complete[lo]) ++hi;
+    eng_->scheduleAt(op_complete[lo], [ctx, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Op& op = ctx->ops[i];
+        switch (op.kind) {
+          case Op::Kind::Pack:
+            ddt::packCpu(*op.layout, op.src, op.dst);
+            break;
+          case Op::Kind::Unpack:
+            ddt::unpackCpu(*op.layout, op.src, op.dst);
+            break;
+          case Op::Kind::StridedCopy:
+            ddt::copyStrided(*op.layout, op.src, *op.dst_layout, op.dst);
+            break;
+        }
+        if (op.on_complete) op.on_complete();
+        if (ctx->on_op) ctx->on_op(i);
       }
-      if (op.on_complete) op.on_complete();
     });
+    lo = hi;
   }
   eng_->scheduleAt(end, [gate_ptr] { gate_ptr->open(); });
 

@@ -99,9 +99,19 @@ class Gpu {
   TimeNs streamReadyTime(StreamId s) const;
   bool streamIdle(StreamId s) const;
 
+  /// Kernel-level completion fan-in: one hook invoked with the op index as
+  /// each op completes, instead of one captured closure per op. Bulk
+  /// submitters (core::FusionScheduler) pay one capture per kernel rather
+  /// than one per op; per-op `Op::on_complete` hooks still fire.
+  using OpCompleteFn =
+      sim::InlineFunction<void(std::size_t), sim::kSmallCallbackBytes>;
+
   /// Queue a kernel of `ops` on stream `s`. GPU-side only; callers charge
-  /// spec().kernel_launch_overhead to their own CPU timeline.
-  KernelHandle launchKernel(StreamId s, std::vector<Op> ops);
+  /// spec().kernel_launch_overhead to their own CPU timeline. Ops whose
+  /// completion lands in the same wave share one engine event (their
+  /// completion order — op index order — is unchanged; MODEL.md §13).
+  KernelHandle launchKernel(StreamId s, std::vector<Op> ops,
+                            OpCompleteFn on_op_complete = {});
 
   /// Single-op convenience (ops are move-only, so brace-list construction
   /// of the vector is unavailable).

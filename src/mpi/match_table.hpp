@@ -1,0 +1,172 @@
+// O(1) MPI message matching (MODEL.md §13).
+//
+// The seed matched inbound messages by linearly scanning the post-order
+// list of unmatched receives — O(posted) per arrival, O(n²) for a window
+// of n in-flight messages, the first thing that melts at million-message
+// scale. These structures replace the scans while preserving MPI matching
+// semantics *exactly*: the winner is always the earliest-posted (resp.
+// earliest-arrived) matching entry, the same entry the linear scan finds.
+//
+// MatchTable splits posted receives into the four wildcard classes a
+// receive can be in — (src, tag), (src, *), (*, tag), (*, *) — each a FIFO
+// keyed by its concrete parts. An inbound (src, tag) can only match the
+// *head* of each class's one candidate queue (FIFOs are appended in post
+// order, so heads carry the smallest post id), and taking the head with
+// the minimum post id across the ≤ 4 candidates is exactly the scan's
+// earliest-posted-matching answer. Lookup cost: 4 hash probes.
+//
+// ArrivalQueue is the dual for unexpected arrivals: entries have concrete
+// (src, tag) keys, receives may carry wildcards. A concrete receive probes
+// one queue; a wildcard receive scans queue *heads* only (one per distinct
+// live key, not per message). The min-arrival-id winner is again identical
+// to scanning the arrival-order list, and — because winners are chosen by
+// id, never by hash iteration order — results are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "mpi/request.hpp"
+
+namespace dkf::mpi {
+
+namespace detail {
+/// One hashable key for a concrete (src, tag) pair.
+inline std::uint64_t packKey(int src, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+}  // namespace detail
+
+class MatchTable {
+ public:
+  /// Append a posted receive (its peer/tag may be wildcards).
+  void post(RequestPtr req) {
+    const std::uint64_t id = next_id_++;
+    Request& r = *req;
+    if (r.peer == kAnySource && r.tag == kAnyTag) {
+      any_both_.push_back(Posted{id, std::move(req)});
+    } else if (r.peer == kAnySource) {
+      any_src_[r.tag].push_back(Posted{id, std::move(req)});
+    } else if (r.tag == kAnyTag) {
+      any_tag_[r.peer].push_back(Posted{id, std::move(req)});
+    } else {
+      exact_[detail::packKey(r.peer, r.tag)].push_back(
+          Posted{id, std::move(req)});
+    }
+    ++size_;
+  }
+
+  /// Remove and return the earliest-posted receive matching a concrete
+  /// inbound (src, tag); nullptr when nothing matches.
+  RequestPtr match(int src_rank, int msg_tag) {
+    Queue* best = nullptr;
+    auto consider = [&best](Queue* q) {
+      if (q && !q->empty() &&
+          (!best || q->front().id < best->front().id)) {
+        best = q;
+      }
+    };
+    consider(find(exact_, detail::packKey(src_rank, msg_tag)));
+    consider(find(any_tag_, src_rank));
+    consider(find(any_src_, msg_tag));
+    consider(any_both_.empty() ? nullptr : &any_both_);
+    if (!best) return nullptr;
+    RequestPtr req = std::move(best->front().req);
+    best->pop_front();
+    --size_;
+    return req;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Posted {
+    std::uint64_t id;
+    RequestPtr req;
+  };
+  using Queue = std::deque<Posted>;
+
+  template <class Map, class Key>
+  static Queue* find(Map& map, Key key) {
+    const auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+  }
+
+  std::unordered_map<std::uint64_t, Queue> exact_;  // (src, tag) concrete
+  std::unordered_map<int, Queue> any_tag_;          // keyed by src
+  std::unordered_map<int, Queue> any_src_;          // keyed by tag
+  Queue any_both_;
+  std::uint64_t next_id_{0};
+  std::size_t size_{0};
+};
+
+/// FIFO of unexpected arrivals with concrete (src, tag) keys, taken by a
+/// (possibly wildcard) receive in exact arrival order.
+template <class T>
+class ArrivalQueue {
+ public:
+  void push(int src, int tag, T value) {
+    by_key_[detail::packKey(src, tag)].push_back(
+        Item{next_id_++, std::move(value)});
+    ++size_;
+  }
+
+  /// Remove and return the earliest arrival matching a receive posted for
+  /// (`peer`, `tag`) — either may be a wildcard. False when none matches.
+  bool take(int peer, int tag, T& out) {
+    if (size_ == 0) return false;
+    if (peer != kAnySource && tag != kAnyTag) {
+      const auto it = by_key_.find(detail::packKey(peer, tag));
+      if (it == by_key_.end()) return false;
+      out = popFront(it);
+      return true;
+    }
+    // Wildcard receive: only queue heads can win (each queue is in
+    // arrival order), and the min arrival id decides — identical to
+    // scanning the global arrival list, independent of hash order.
+    auto best = by_key_.end();
+    for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
+      const int src = static_cast<int>(
+          static_cast<std::int32_t>(it->first >> 32));
+      const int msg_tag = static_cast<int>(
+          static_cast<std::int32_t>(it->first & 0xffffffffu));
+      if (peer != kAnySource && peer != src) continue;
+      if (tag != kAnyTag && tag != msg_tag) continue;
+      if (best == by_key_.end() ||
+          it->second.front().id < best->second.front().id) {
+        best = it;
+      }
+    }
+    if (best == by_key_.end()) return false;
+    out = popFront(best);
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Item {
+    std::uint64_t id;
+    T value;
+  };
+  using Map = std::unordered_map<std::uint64_t, std::deque<Item>>;
+
+  T popFront(typename Map::iterator it) {
+    T value = std::move(it->second.front().value);
+    it->second.pop_front();
+    if (it->second.empty()) by_key_.erase(it);
+    --size_;
+    return value;
+  }
+
+  Map by_key_;
+  std::uint64_t next_id_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace dkf::mpi

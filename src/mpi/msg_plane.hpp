@@ -1,0 +1,61 @@
+// Table-driven message state machines — the hot progress path (MODEL.md
+// §13).
+//
+// The seed advanced every request with a coroutine (`progressRequest`):
+// one frame per request per poll, even though the hot protocol actions —
+// put eager data on the wire, send/answer an RTS, kick a retransmission —
+// never suspend. The batched plane classifies a request into a protocol
+// phase with a pure function over its flags and dispatches through a
+// constexpr table of plain function pointers: zero frames, zero
+// allocations, identical actions in identical order.
+//
+// Coroutines remain for the cold/control paths that genuinely suspend:
+// pack submission (activateSend) and the DirectIPC enqueue (`tryDirect`,
+// reached when advance() returns false). `RuntimeConfig::
+// batched_message_plane = false` routes progress back through the seed
+// coroutine per request — the shadow used by the determinism fuzz test and
+// the throughput bench's speedup baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/request.hpp"
+
+namespace dkf::mpi {
+
+class Proc;
+
+struct MsgPlane {
+  /// Protocol phase of a request at progress time. Classification is a
+  /// pure function of the request's flags; the phase indexes the handler
+  /// table 1:1.
+  enum class Phase : std::uint8_t {
+    Idle,             ///< nothing to do this pass (awaiting pack / data)
+    SendEager,        ///< eager data to issue, or un-ACKed and retrans-due
+    SendRget,         ///< RTS to issue, or RTS/FIN lost and retrans-due
+    SendRput,         ///< CTS wait / data phase / completion
+    SendDirect,       ///< receiver-driven; only retransmits its RTS
+    RecvRgetRetry,    ///< RGet read may need re-issuing on timeout
+    RecvDirectRetry,  ///< DirectIPC enqueue retry — coroutine slow path
+    Count
+  };
+
+  static Phase classify(const Request& r);
+
+  /// Advance one request through the phase table. Returns false when the
+  /// request needs the coroutine slow path (Phase::RecvDirectRetry);
+  /// everything else is fully handled.
+  static bool advance(Proc& p, const RequestPtr& req);
+
+ private:
+  using Handler = void (*)(Proc&, const RequestPtr&);
+
+  static void idle(Proc&, const RequestPtr&);
+  static void sendEager(Proc& p, const RequestPtr& req);
+  static void sendRget(Proc& p, const RequestPtr& req);
+  static void sendRput(Proc& p, const RequestPtr& req);
+  static void sendDirect(Proc& p, const RequestPtr& req);
+  static void recvRgetRetry(Proc& p, const RequestPtr& req);
+};
+
+}  // namespace dkf::mpi

@@ -64,6 +64,15 @@ struct Request {
 
   bool complete{false};
 
+  // ---- Change-driven progress bookkeeping (batched message plane) ----
+  // The batched plane only advances requests whose state could have moved:
+  // `progress_order` pins the activation (= seed scan) order, and the two
+  // membership flags dedupe entries on the owning Proc's timed/dirty sets.
+  // All three are inert when the seed shadow path is active.
+  std::uint64_t progress_order{0};  ///< activation order, the pass sort key
+  bool in_timed{false};             ///< on the proc's every-poll timed set
+  bool in_dirty{false};             ///< marked for the next progress pass
+
   // ---- Reliable-transport state (ReliabilityConfig::enabled) ----
   // A send is sequence-numbered the first time it touches the wire; the
   // receiver ACKs (eager) or answers duplicate RTSs (rendezvous), and the

@@ -126,7 +126,7 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
     // kernel over NVLink ([24]). The RTS carries the layout handle.
     req->protocol = Protocol::DirectIpc;
     req->pack_done = true;
-    co_await issueRts(req);
+    issueRts(req);
   } else {
     if (req->is_contiguous) {
       req->staging = req->data_bytes > 0
@@ -145,6 +145,8 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
       if (engine_->done(req->ticket)) {
         req->ticket_pending = false;
         req->pack_done = true;
+      } else {
+        markTimed(req);  // poll the pack ticket every pass
       }
     }
     req->protocol = req->data_bytes <= machine.eager_threshold
@@ -153,30 +155,26 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
     if (req->protocol == Protocol::RPut) {
       // RPUT sends the RTS before the pack completes so the handshake
       // overlaps the packing kernel (§IV-B1).
-      co_await issueRts(req);
+      issueRts(req);
     }
     if (req->pack_done) {
       if (req->protocol == Protocol::Eager) {
-        co_await issueEagerData(req);
+        issueEagerData(req);
       } else if (req->protocol == Protocol::RGet) {
-        co_await issueRts(req);
+        issueRts(req);
       }
     }
   }
-  if (!req->complete) active_.push_back(req);
+  registerActive(req);
 }
 
 sim::Task<void> Proc::activateRecv(RequestPtr req) {
-  active_.push_back(req);
-  // Unexpected-message queues first (FIFO order preserved).
-  for (auto it = unexpected_eager_.begin(); it != unexpected_eager_.end();
-       ++it) {
-    if (req->matches(it->src, it->tag)) {
-      auto data = std::move(it->data);
-      unexpected_eager_.erase(it);
-      startEagerDelivery(req, std::move(data));
-      co_return;
-    }
+  registerActive(req);
+  // Unexpected-message queues first (arrival order preserved).
+  std::vector<std::byte> data;
+  if (unexpected_eager_.take(req->peer, req->tag, data)) {
+    startEagerDelivery(req, std::move(data));
+    co_return;
   }
   for (auto it = unexpected_rts_.begin(); it != unexpected_rts_.end(); ++it) {
     if (req->matches((*it)->owner_rank, (*it)->tag)) {
@@ -186,7 +184,7 @@ sim::Task<void> Proc::activateRecv(RequestPtr req) {
       co_return;
     }
   }
-  posted_recvs_.push_back(req);
+  posted_recvs_.post(req);
 }
 
 sim::Task<RequestPtr> Proc::isend(gpu::MemSpan buf, ddt::DatatypePtr type,
@@ -205,6 +203,39 @@ sim::Task<RequestPtr> Proc::irecv(gpu::MemSpan buf, ddt::DatatypePtr type,
   auto req = makeRequest(Request::Kind::Recv, buf, type, count, src, tag);
   co_await activateRecv(req);
   co_return req;
+}
+
+sim::Task<std::vector<RequestPtr>> Proc::isendBatch(
+    std::vector<SendSpec> specs) {
+  // One MPI call overhead for the whole batch — the bulk front door. The
+  // activations run back to back, so eager sends to one peer land on the
+  // wire with contiguous engine keys (the shape LinkBatcher coalesces).
+  co_await cpu_->busy(rt_->config().call_overhead);
+  std::vector<RequestPtr> reqs;
+  reqs.reserve(specs.size());
+  for (const SendSpec& s : specs) {
+    DKF_CHECK(s.peer >= 0 && s.peer < worldSize());
+    auto req =
+        makeRequest(Request::Kind::Send, s.buf, s.type, s.count, s.peer, s.tag);
+    co_await activateSend(req);
+    reqs.push_back(std::move(req));
+  }
+  co_return reqs;
+}
+
+sim::Task<std::vector<RequestPtr>> Proc::irecvBatch(
+    std::vector<RecvSpec> specs) {
+  co_await cpu_->busy(rt_->config().call_overhead);
+  std::vector<RequestPtr> reqs;
+  reqs.reserve(specs.size());
+  for (const RecvSpec& s : specs) {
+    DKF_CHECK(s.peer == kAnySource || (s.peer >= 0 && s.peer < worldSize()));
+    auto req =
+        makeRequest(Request::Kind::Recv, s.buf, s.type, s.count, s.peer, s.tag);
+    co_await activateRecv(req);
+    reqs.push_back(std::move(req));
+  }
+  co_return reqs;
 }
 
 sim::Task<RequestPtr> Proc::sendInit(gpu::MemSpan buf, ddt::DatatypePtr type,
@@ -247,25 +278,19 @@ sim::Task<void> Proc::startall(const std::vector<RequestPtr>& reqs) {
 }
 
 RequestPtr Proc::matchPosted(int src_rank, int msg_tag) {
-  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
-    if ((*it)->matches(src_rank, msg_tag)) {
-      RequestPtr req = *it;
-      posted_recvs_.erase(it);
-      return req;
-    }
-  }
-  return nullptr;
+  return posted_recvs_.match(src_rank, msg_tag);
 }
 
 // ------------------------------------------------- reliable transport ----
 
 bool Proc::reliabilityOn() const { return rt_->config().reliability.enabled; }
 
-void Proc::armRetrans(Request& req) {
+void Proc::armRetrans(const RequestPtr& req) {
   if (!reliabilityOn()) return;
   const ReliabilityConfig& rc = rt_->config().reliability;
-  if (req.retrans_timeout == 0) req.retrans_timeout = rc.base_timeout;
-  req.retrans_deadline = rt_->engine().now() + req.retrans_timeout;
+  if (req->retrans_timeout == 0) req->retrans_timeout = rc.base_timeout;
+  req->retrans_deadline = rt_->engine().now() + req->retrans_timeout;
+  markTimed(req);
 }
 
 bool Proc::retransDue(Request& req) {
@@ -327,7 +352,9 @@ void Proc::sendRtsOnWire(const RequestPtr& req) {
 
 // --------------------------------------------------------------------------
 
-sim::Task<void> Proc::issueEagerData(RequestPtr req) {
+// Plain functions (they only push bytes on the wire and flip flags): the
+// activation and progress paths call them frame-free.
+void Proc::issueEagerData(const RequestPtr& req) {
   if (!req->seq_assigned) {
     req->seq = next_seq_++;
     req->seq_assigned = true;
@@ -337,8 +364,8 @@ sim::Task<void> Proc::issueEagerData(RequestPtr req) {
   if (reliabilityOn()) {
     // Completion is deferred to the ACK; the staging must survive so a
     // retransmission can re-snapshot the payload.
-    armRetrans(*req);
-    co_return;
+    armRetrans(req);
+    return;
   }
   // Eager sends complete locally: the payload was captured on the wire.
   if (req->staging_owned) {
@@ -346,18 +373,16 @@ sim::Task<void> Proc::issueEagerData(RequestPtr req) {
     req->staging_owned = false;
   }
   req->complete = true;
-  co_return;
 }
 
-sim::Task<void> Proc::issueRts(RequestPtr req) {
+void Proc::issueRts(const RequestPtr& req) {
   req->rts_sent = true;
   if (!req->seq_assigned) {
     req->seq = next_seq_++;
     req->seq_assigned = true;
   }
   sendRtsOnWire(req);
-  armRetrans(*req);
-  co_return;
+  armRetrans(req);
 }
 
 void Proc::onEager(int src_rank, int msg_tag, std::uint64_t seq,
@@ -380,8 +405,7 @@ void Proc::onEager(int src_rank, int msg_tag, std::uint64_t seq,
   }
   RequestPtr recv = matchPosted(src_rank, msg_tag);
   if (!recv) {
-    unexpected_eager_.push_back(
-        UnexpectedEager{src_rank, msg_tag, std::move(data)});
+    unexpected_eager_.push(src_rank, msg_tag, std::move(data));
     return;
   }
   startEagerDelivery(std::move(recv), std::move(data));
@@ -423,6 +447,8 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
       r->ticket_pending = false;
       r->eager_data.clear();
       r->complete = true;
+    } else {
+      p.markTimed(r);  // poll the unpack ticket every pass
     }
   }(*self, std::move(recv)));
 }
@@ -510,6 +536,7 @@ void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
       recv->remote_origin = sender_req->user_buf;
       recv->paired = sender_req;
       recv->direct_retry = true;  // progress loop performs the enqueue
+      markDirty(recv);
       break;
     }
     case Protocol::RGet: {
@@ -519,7 +546,7 @@ void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
         recv->delivery_span = allocStaging(*recv, sender_req->data_bytes);
       }
       recv->rget_sender = sender_req;  // kept for timed-out re-reads
-      armRetrans(*recv);
+      armRetrans(recv);
       issueRgetRead(recv, sender_req);
       break;
     }
@@ -570,14 +597,16 @@ void Proc::issueRgetRead(const RequestPtr& recv, const RequestPtr& sender_req) {
 
 void Proc::issueRputData(const RequestPtr& req) {
   Runtime* rt = rt_;
+  Proc* self = this;
   RequestPtr recv = req->paired;
   Proc* receiver = &rt->proc(req->peer);
   rt->cluster().fabric().rdmaWrite(
       rt->nodeOfRank(rank_), rt->nodeOfRank(req->peer), req->staging,
-      req->remote_staging, [req, recv, receiver] {
+      req->remote_staging, [self, req, recv, receiver] {
         // Delivery: sender may release; receiver unpacks.
         if (req->data_delivered) return;  // a retried write already landed
         req->data_delivered = true;
+        self->markDirty(req);  // sender's completion block runs next pass
         if (recv) {
           recv->data_delivered = true;
           receiver->finishRecvData(recv);
@@ -596,6 +625,7 @@ void Proc::onCts(RequestPtr sender_req, gpu::MemSpan recv_staging) {
   // Fresh backoff for the data phase.
   sender_req->retrans_deadline = 0;
   sender_req->retrans_timeout = 0;
+  markDirty(sender_req);  // the data phase can start on the next pass
 }
 
 void Proc::onFin(RequestPtr sender_req) {
@@ -628,6 +658,8 @@ void Proc::finishRecvData(RequestPtr recv) {
       r->ticket_pending = false;
       p.releaseRecvStaging(*r);
       r->complete = true;
+    } else {
+      p.markTimed(r);  // poll the unpack ticket every pass
     }
   }(*self, std::move(recv)));
 }
@@ -650,10 +682,30 @@ sim::Task<void> Proc::tryDirect(RequestPtr recv) {
       recv->user_buf);
   if (!t.valid()) {
     recv->direct_retry = true;  // request list full: retry on next pass
+    markDirty(recv);
     co_return;
   }
   recv->ticket = t;
   recv->ticket_pending = true;
+  markTimed(recv);
+}
+
+void Proc::finishTicketedRecv(const RequestPtr& req) {
+  // Unpack or DirectIPC finished: the receive is done.
+  releaseRecvStaging(*req);
+  if (req->paired) {
+    // DirectIPC: tell the sender its buffer is consumed.
+    Runtime* rt = rt_;
+    RequestPtr sender_req = std::move(req->paired);
+    req->paired.reset();
+    const int sender_rank = sender_req->owner_rank;
+    rt->cluster().fabric().sendControl(
+        rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
+        [rt, sender_rank, sender_req] {
+          rt->proc(sender_rank).onFin(sender_req);
+        });
+  }
+  req->complete = true;
 }
 
 sim::Task<void> Proc::progressRequest(RequestPtr req) {
@@ -664,21 +716,7 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
     if (req->kind == Request::Kind::Send) {
       req->pack_done = true;
     } else {
-      // Unpack or DirectIPC finished: the receive is done.
-      releaseRecvStaging(*req);
-      if (req->paired) {
-        // DirectIPC: tell the sender its buffer is consumed.
-        Runtime* rt = rt_;
-        RequestPtr sender_req = std::move(req->paired);
-        req->paired.reset();
-        const int sender_rank = sender_req->owner_rank;
-        rt->cluster().fabric().sendControl(
-            rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
-            [rt, sender_rank, sender_req] {
-              rt->proc(sender_rank).onFin(sender_req);
-            });
-      }
-      req->complete = true;
+      finishTicketedRecv(req);
       co_return;
     }
   }
@@ -687,14 +725,14 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
     switch (req->protocol) {
       case Protocol::Eager:
         if (!req->data_in_flight) {
-          co_await issueEagerData(req);
+          issueEagerData(req);
         } else if (!req->complete && retransDue(*req)) {
           sendEagerOnWire(req);  // un-ACKed: back on the wire
         }
         break;
       case Protocol::RGet:
         if (!req->rts_sent) {
-          co_await issueRts(req);
+          issueRts(req);
         } else if (!req->complete && retransDue(*req)) {
           sendRtsOnWire(req);  // RTS (or its FIN) was lost
         }
@@ -705,7 +743,7 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
         } else if (!req->data_in_flight) {
           req->data_in_flight = true;
           issueRputData(req);
-          armRetrans(*req);  // data phase gets its own (fresh) backoff
+          armRetrans(req);  // data phase gets its own (fresh) backoff
         } else if (!req->data_delivered && retransDue(*req)) {
           issueRputData(req);  // the RDMA write was dropped
         }
@@ -736,13 +774,114 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
   }
 }
 
+sim::Task<void> Proc::progressSlow(RequestPtr req) {
+  // The one genuinely suspending progress action: the DirectIPC enqueue
+  // submits through the DDT engine. Mirrors the recv arm of the seed path.
+  if (req->direct_retry) {
+    req->direct_retry = false;
+    co_await tryDirect(req);
+  }
+}
+
+void Proc::registerActive(const RequestPtr& req) {
+  req->progress_order = next_progress_order_++;
+  if (req->complete) return;
+  if (active_.size() >= sweep_watermark_) {
+    // Amortized O(1) per activation: handler-completed requests linger in
+    // active_ until the list doubles, keeping residency within 2x of live.
+    std::erase_if(active_, [](const RequestPtr& r) { return r->complete; });
+    sweep_watermark_ = std::max<std::size_t>(64, active_.size() * 2);
+  }
+  active_.push_back(req);
+}
+
+void Proc::markDirty(const RequestPtr& req) {
+  if (!rt_->config().batched_message_plane) return;  // shadow never reads it
+  if (req->complete || req->in_dirty) return;
+  req->in_dirty = true;
+  dirty_.push_back(req);
+}
+
+void Proc::markTimed(const RequestPtr& req) {
+  if (!rt_->config().batched_message_plane) return;  // shadow never reads it
+  if (req->complete || req->in_timed) return;
+  req->in_timed = true;
+  timed_.push_back(req);
+}
+
+sim::Task<void> Proc::progressPass() {
+  // Capture this pass's candidates up front; marks arriving mid-pass (only
+  // possible across a DirectIPC suspension) land in a fresh dirty_ and are
+  // picked up by the next pass.
+  pass_scratch_.assign(timed_.begin(), timed_.end());
+  bool slow = false;
+  for (const RequestPtr& r : pass_scratch_) {
+    slow |= !r->complete && r->direct_retry;
+  }
+  for (RequestPtr& r : dirty_) {
+    r->in_dirty = false;
+    slow |= !r->complete && r->direct_retry;
+    if (!r->in_timed) pass_scratch_.push_back(std::move(r));
+  }
+  dirty_.clear();
+
+  if (slow) {
+    // A DirectIPC enqueue suspends, and flag flips arriving across the
+    // suspension must stay visible to requests advanced later in the same
+    // pass — exactly the seed's snapshot semantics, so scan like the seed:
+    // every active request, activation order, index bound at entry
+    // (activations during the suspension wait a pass). Completed-but-
+    // unswept entries return from advance() immediately and emit nothing.
+    const std::size_t bound = active_.size();
+    for (std::size_t i = 0; i < bound; ++i) {
+      if (!MsgPlane::advance(*this, active_[i])) {
+        RequestPtr req = active_[i];  // pin across the suspension
+        co_await progressSlow(req);
+      }
+    }
+  } else {
+    // Pure table pass, fully synchronous: no suspension can interleave an
+    // event, so the candidate set is complete and classification is
+    // stable. Activation order keeps the emitted action stream identical
+    // to the seed's full scan (every skipped request is a proven no-op).
+    std::sort(pass_scratch_.begin(), pass_scratch_.end(),
+              [](const RequestPtr& a, const RequestPtr& b) {
+                return a->progress_order < b->progress_order;
+              });
+    for (const RequestPtr& req : pass_scratch_) {
+      const bool fast = MsgPlane::advance(*this, req);
+      DKF_CHECK(fast);  // direct_retry would have forced the slow scan
+    }
+  }
+  pass_scratch_.clear();
+  std::erase_if(timed_, [](const RequestPtr& r) {
+    const bool keep =
+        !r->complete && (r->ticket_pending || r->retrans_deadline != 0);
+    if (!keep) r->in_timed = false;
+    return !keep;
+  });
+  std::erase_if(active_, [](const RequestPtr& r) { return r->complete; });
+  sweep_watermark_ = std::max<std::size_t>(64, active_.size() * 2);
+}
+
 sim::Task<void> Proc::progressOnce() {
   co_await engine_->progress();
-  // Iterate over a snapshot: handlers may append to active_.
-  std::vector<RequestPtr> snapshot = active_;
-  for (RequestPtr& req : snapshot) {
+  if (rt_->config().batched_message_plane) {
+    // Hot path: change-driven. Steady-state requests complete inside
+    // fabric/engine handlers; a pass only runs while some request holds a
+    // live ticket or armed deadline (timed_) or an event enabled an action
+    // since the last poll (dirty_). An idle poll costs O(1).
+    if (!timed_.empty() || !dirty_.empty()) co_await progressPass();
+    co_return;
+  }
+  // Seed shadow: one coroutine frame per request per poll, iterating a
+  // snapshot (handlers may append to active_) reused across polls so
+  // steady-state polling does not allocate.
+  progress_scratch_.assign(active_.begin(), active_.end());
+  for (RequestPtr& req : progress_scratch_) {
     co_await progressRequest(req);
   }
+  progress_scratch_.clear();
   std::erase_if(active_,
                 [](const RequestPtr& r) { return r->complete; });
 }
@@ -754,15 +893,17 @@ sim::Task<void> Proc::wait(RequestPtr req) {
 
 sim::Task<void> Proc::waitall(std::vector<RequestPtr> reqs) {
   co_await cpu_->busy(rt_->config().call_overhead);
+  // Completion is sticky while waiting, so resume the scan where the last
+  // poll left off instead of rescanning the completed prefix every poll —
+  // O(n + polls) amortized instead of O(n * polls) on deep windows.
+  std::size_t cursor = 0;
   while (true) {
     co_await progressOnce();
     // Launch scenario 1 (§IV-C): the progress engine is out of work and
     // blocked at a synchronization point — flush batched operations now.
     co_await engine_->flush();
-    const bool all_done = std::all_of(
-        reqs.begin(), reqs.end(),
-        [](const RequestPtr& r) { return r->complete; });
-    if (all_done) {
+    while (cursor < reqs.size() && reqs[cursor]->complete) ++cursor;
+    if (cursor == reqs.size()) {
       // Persistent requests become inactive (restartable) once waited.
       for (const RequestPtr& r : reqs) {
         if (r->persistent) r->active = false;
@@ -838,6 +979,8 @@ sim::Task<void> Proc::barrier(std::size_t participants) {
 
 Runtime::Runtime(hw::Cluster& cluster, RuntimeConfig config)
     : cluster_(&cluster), config_(config) {
+  cluster.fabric().setDeliveryBatching(config_.delivery_batching);
+  cluster.fabric().setBatchWindow(config_.msg_batch_window);
   barrier_cv_ = std::make_unique<sim::CondVar>(cluster.engine());
   const std::size_t ranks = cluster.gpuCount();
   procs_.reserve(ranks);

@@ -12,6 +12,7 @@
 // the paper's launch scenario 1.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -24,6 +25,8 @@
 #include "ddt/datatype.hpp"
 #include "ddt/layout.hpp"
 #include "hw/cluster.hpp"
+#include "mpi/match_table.hpp"
+#include "mpi/msg_plane.hpp"
 #include "mpi/request.hpp"
 #include "schemes/factory.hpp"
 #include "sim/cpu.hpp"
@@ -78,6 +81,19 @@ struct RuntimeConfig {
   ddt::LayoutCacheLimits layout_cache{};
   /// Per-rank compiled-plan cache budget (entries/bytes; 0 = unbounded).
   core::PlanCacheLimits plan_cache{};
+  /// Advance requests through the table-driven state machines
+  /// (msg_plane.hpp) instead of one coroutine frame per request per poll.
+  /// Off = the seed coroutine path, kept as the shadow for the determinism
+  /// fuzz test and the throughput bench baseline. Event-stream-identical
+  /// either way.
+  bool batched_message_plane{true};
+  /// Route fabric deliveries through per-link LinkBatchers (applied to the
+  /// cluster fabric at Runtime construction; net/link_batcher.hpp).
+  bool delivery_batching{true};
+  /// Fabric delivery coalescing window: 0 (default) is exact; > 0 models
+  /// NIC interrupt moderation and trades per-message timing (bounded by
+  /// the window) for fewer events.
+  DurationNs msg_batch_window{ns(0)};
 };
 
 class Runtime;
@@ -112,6 +128,22 @@ class Proc {
                               std::size_t count, int dst, int tag);
   sim::Task<RequestPtr> irecv(gpu::MemSpan buf, ddt::DatatypePtr type,
                               std::size_t count, int src, int tag);
+
+  // ---- Bulk submission (the batched message plane's front door) ----
+  // One MPI call overhead is charged for the whole batch, and back-to-back
+  // wire sends to one link reserve contiguous engine keys — exactly the
+  // shape LinkBatcher coalesces. Semantically identical to issuing the
+  // specs one by one.
+  struct SendSpec {
+    gpu::MemSpan buf;
+    ddt::DatatypePtr type;
+    std::size_t count{1};
+    int peer{0};
+    int tag{0};
+  };
+  using RecvSpec = SendSpec;  // peer may be kAnySource, tag kAnyTag
+  sim::Task<std::vector<RequestPtr>> isendBatch(std::vector<SendSpec> specs);
+  sim::Task<std::vector<RequestPtr>> irecvBatch(std::vector<RecvSpec> specs);
   sim::Task<void> wait(RequestPtr req);
   sim::Task<void> waitall(std::vector<RequestPtr> reqs);
   /// Non-blocking completion check (MPI_Test): runs one progress pass
@@ -143,8 +175,13 @@ class Proc {
   /// `participants` ranks must arrive (0 = the whole world).
   sim::Task<void> barrier(std::size_t participants = 0);
 
-  /// Active (incomplete) requests owned by this rank.
-  std::size_t inFlight() const { return active_.size(); }
+  /// Active (incomplete) requests owned by this rank. (The batched plane
+  /// sweeps handler-completed requests lazily, so count, don't size().)
+  std::size_t inFlight() const {
+    return static_cast<std::size_t>(
+        std::count_if(active_.begin(), active_.end(),
+                      [](const RequestPtr& r) { return !r->complete; }));
+  }
 
   /// Reliable-transport counters (all zero when reliability is off).
   const TransportCounters& transport() const { return transport_; }
@@ -163,6 +200,7 @@ class Proc {
 
  private:
   friend class Runtime;
+  friend struct MsgPlane;  // the table-driven hot path advances requests
 
   // Inbound protocol events (called at fabric delivery time).
   void onEager(int src_rank, int msg_tag, std::uint64_t seq,
@@ -187,16 +225,40 @@ class Proc {
 
   /// One pass of the progress engine.
   sim::Task<void> progressOnce();
-  /// Advance a single request's state machine.
+  /// One batched-plane pass over the requests that can actually act: the
+  /// timed set (DDT tickets, armed retransmissions) plus the requests an
+  /// event marked dirty since the last pass, advanced in activation order.
+  /// Falls back to the seed-order full scan whenever a DirectIPC retry is
+  /// pending, because that path suspends and flag flips arriving across
+  /// the suspension must stay visible to later requests in the same pass.
+  sim::Task<void> progressPass();
+  /// Register a freshly activated request with the progress plane
+  /// (activation order, active list, amortized sweep of completed entries).
+  void registerActive(const RequestPtr& req);
+  /// An event enabled an action on `req`: advance it on the next pass.
+  void markDirty(const RequestPtr& req);
+  /// `req` needs polling every pass while its ticket or deadline is live.
+  void markTimed(const RequestPtr& req);
+  /// Advance a single request's state machine — the seed coroutine path,
+  /// kept intact as the shadow for batched_message_plane = false.
   sim::Task<void> progressRequest(RequestPtr req);
+  /// Coroutine tail for the table-driven path: the one genuinely
+  /// suspending action (the DirectIPC enqueue).
+  sim::Task<void> progressSlow(RequestPtr req);
+  /// A receive's DDT-engine ticket (unpack / direct copy) finished:
+  /// release staging, FIN a DirectIPC sender, complete the request.
+  void finishTicketedRecv(const RequestPtr& req);
 
-  sim::Task<void> issueEagerData(RequestPtr req);
-  sim::Task<void> issueRts(RequestPtr req);
+  // Never suspend (wire pushes + local bookkeeping only): plain functions
+  // so the hot path pays no coroutine frame for them.
+  void issueEagerData(const RequestPtr& req);
+  void issueRts(const RequestPtr& req);
 
   // ---- Reliable transport (no-ops while ReliabilityConfig is off) ----
   bool reliabilityOn() const;
-  /// Arm (or re-arm) a request's retransmission deadline.
-  void armRetrans(Request& req);
+  /// Arm (or re-arm) a request's retransmission deadline and join the
+  /// timed set so the batched plane keeps polling it.
+  void armRetrans(const RequestPtr& req);
   /// True when the request's deadline passed: books one retransmission,
   /// backs the timeout off, re-arms. DKF_CHECKs against max_retries.
   bool retransDue(Request& req);
@@ -243,13 +305,17 @@ class Proc {
   core::PlanCache plan_cache_;
 
   std::vector<RequestPtr> active_;          // all incomplete requests
-  std::vector<RequestPtr> posted_recvs_;    // unmatched posted receives
-  struct UnexpectedEager {
-    int src;
-    int tag;
-    std::vector<std::byte> data;
-  };
-  std::deque<UnexpectedEager> unexpected_eager_;
+  std::vector<RequestPtr> progress_scratch_;  // reused per-poll snapshot
+
+  // Change-driven progress state (batched plane only; see progressPass).
+  std::vector<RequestPtr> timed_;        // ticket/deadline holders, polled
+  std::vector<RequestPtr> dirty_;        // event-marked since the last pass
+  std::vector<RequestPtr> pass_scratch_; // reused per-pass work list
+  std::uint64_t next_progress_order_{0};
+  std::size_t sweep_watermark_{64};      // amortized active_ sweep trigger
+  MatchTable posted_recvs_;                 // unmatched posted receives
+  /// Eager payloads that arrived before their receive was posted.
+  ArrivalQueue<std::vector<std::byte>> unexpected_eager_;
   std::deque<RequestPtr> unexpected_rts_;   // sender reqs awaiting a match
 
   // Next unissued collective tag (see allocCollectiveTags).

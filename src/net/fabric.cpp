@@ -18,6 +18,54 @@ Fabric::Fabric(sim::Engine& eng, const hw::MachineSpec& machine,
   // Channels materialize on first use: a 1024-node cluster declares a
   // million ordered pairs, but a tree collective touches a few thousand.
   links_.resize(nodes * nodes);
+  batchers_.resize(nodes * nodes);
+}
+
+LinkBatcher& Fabric::batcherBetween(int src_node, int dst_node) {
+  auto& slot = batchers_[static_cast<std::size_t>(src_node) * nodes_ +
+                         static_cast<std::size_t>(dst_node)];
+  if (!slot) slot = std::make_unique<LinkBatcher>(*eng_, batch_window_);
+  return *slot;
+}
+
+void Fabric::deliver(int src_node, int dst_node, TimeNs t,
+                     LinkBatcher::Callback cb) {
+  if (batching_) {
+    batcherBetween(src_node, dst_node).enqueue(t, std::move(cb));
+  } else {
+    eng_->scheduleAt(t, std::move(cb));
+  }
+}
+
+void Fabric::setBatchWindow(DurationNs w) {
+  batch_window_ = w;
+  for (auto& b : batchers_) {
+    if (b) b->setWindow(w);
+  }
+}
+
+std::size_t Fabric::batchedDeliveries() const {
+  std::size_t total = 0;
+  for (const auto& b : batchers_) {
+    if (b) total += b->deliveries();
+  }
+  return total;
+}
+
+std::size_t Fabric::batchedArmedEvents() const {
+  std::size_t total = 0;
+  for (const auto& b : batchers_) {
+    if (b) total += b->armedEvents();
+  }
+  return total;
+}
+
+std::size_t Fabric::coalescedDeliveries() const {
+  std::size_t total = 0;
+  for (const auto& b : batchers_) {
+    if (b) total += b->coalescedDeliveries();
+  }
+  return total;
 }
 
 Link& Fabric::linkBetween(int src_node, int dst_node) {
@@ -95,12 +143,12 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
     traceDrop(src_node, dst_node, "data");
     return delivery;  // wire time was spent; the payload never lands
   }
-  eng_->scheduleAt(delivery,
-                   [payload, dst, cb = std::move(on_delivered)]() mutable {
-                     std::memcpy(dst.bytes.data(), payload.bytes.data(),
-                                 payload.size());
-                     if (cb) cb();
-                   });
+  deliver(src_node, dst_node, delivery,
+          [payload, dst, cb = std::move(on_delivered)]() mutable {
+            std::memcpy(dst.bytes.data(), payload.bytes.data(),
+                        payload.size());
+            if (cb) cb();
+          });
   return delivery;
 }
 
@@ -117,9 +165,10 @@ TimeNs Fabric::sendControl(int src_node, int dst_node,
     traceDrop(src_node, dst_node, "ctrl");
     return delivery;
   }
-  eng_->scheduleAt(delivery, [cb = std::move(on_delivered)]() mutable {
-    if (cb) cb();
-  });
+  deliver(src_node, dst_node, delivery,
+          [cb = std::move(on_delivered)]() mutable {
+            if (cb) cb();
+          });
   return delivery;
 }
 
@@ -140,11 +189,17 @@ TimeNs Fabric::sendMessage(
     traceDrop(src_node, dst_node, "eager");
     return delivery;
   }
-  std::vector<std::byte> snapshot(payload.bytes.begin(), payload.bytes.end());
-  eng_->scheduleAt(delivery, [data = std::move(snapshot),
-                              cb = std::move(on_delivered)]() mutable {
-    if (cb) cb(std::move(data));
-  });
+  // Snapshot once (exact reserve, one memcpy-sized append) and *move* the
+  // buffer through the delivery closure and into the receiver's handler —
+  // the payload bytes are copied exactly once on this path.
+  std::vector<std::byte> snapshot;
+  snapshot.reserve(payload.size());
+  snapshot.insert(snapshot.end(), payload.bytes.begin(), payload.bytes.end());
+  deliver(src_node, dst_node, delivery,
+          [data = std::move(snapshot),
+           cb = std::move(on_delivered)]() mutable {
+            if (cb) cb(std::move(data));
+          });
   return delivery;
 }
 
@@ -167,12 +222,13 @@ TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
     traceDrop(target_node, reader_node, "rdma_read");
     return delivery;
   }
-  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done),
-                              want = std::move(still_wanted)]() mutable {
-    if (want && !want()) return;  // superseded by an earlier delivery
-    std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
-    if (cb) cb();
-  });
+  deliver(target_node, reader_node, delivery,
+          [src, dst, cb = std::move(on_done),
+           want = std::move(still_wanted)]() mutable {
+            if (want && !want()) return;  // superseded by an earlier delivery
+            std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
+            if (cb) cb();
+          });
   return delivery;
 }
 
@@ -191,12 +247,13 @@ TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
     traceDrop(writer_node, target_node, "rdma_write");
     return delivery;
   }
-  eng_->scheduleAt(delivery, [src, dst, cb = std::move(on_done),
-                              want = std::move(still_wanted)]() mutable {
-    if (want && !want()) return;  // superseded by an earlier delivery
-    std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
-    if (cb) cb();
-  });
+  deliver(writer_node, target_node, delivery,
+          [src, dst, cb = std::move(on_done),
+           want = std::move(still_wanted)]() mutable {
+            if (want && !want()) return;  // superseded by an earlier delivery
+            std::memcpy(dst.bytes.data(), src.bytes.data(), src.size());
+            if (cb) cb();
+          });
   return delivery;
 }
 

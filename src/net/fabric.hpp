@@ -19,6 +19,7 @@
 #include "gpu/memory.hpp"
 #include "hw/spec.hpp"
 #include "net/link.hpp"
+#include "net/link_batcher.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -86,8 +87,29 @@ class Fabric {
   /// detach (the default: a loss-free fabric).
   void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
 
+  /// Route deliveries through per-link LinkBatchers (default on; with a
+  /// zero window the event stream is identical to eager scheduling —
+  /// link_batcher.hpp). Off = schedule every delivery eagerly, kept as the
+  /// shadow path for speedup reporting. Only meaningful before traffic.
+  void setDeliveryBatching(bool on) { batching_ = on; }
+  bool deliveryBatching() const { return batching_; }
+
+  /// Coalescing window applied by every link's batcher. 0 (default) is
+  /// exact; > 0 models NIC interrupt moderation (link_batcher.hpp).
+  void setBatchWindow(DurationNs w);
+  DurationNs batchWindow() const { return batch_window_; }
+
+  // Aggregate batcher counters (bench/tests).
+  std::size_t batchedDeliveries() const;
+  std::size_t batchedArmedEvents() const;
+  std::size_t coalescedDeliveries() const;
+
  private:
   Link& linkBetween(int src_node, int dst_node);
+  LinkBatcher& batcherBetween(int src_node, int dst_node);
+  /// Hand a delivery closure to the channel's batcher (or the engine
+  /// directly in shadow mode).
+  void deliver(int src_node, int dst_node, TimeNs t, LinkBatcher::Callback cb);
   /// Bandwidth cap (bytes/ns) for a transfer touching these spans; 0 = none.
   double directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const;
 
@@ -108,8 +130,12 @@ class Fabric {
   fault::FaultPlan* faults_{nullptr};
   hw::MachineSpec machine_;
   std::size_t nodes_;
+  bool batching_{true};
+  DurationNs batch_window_{ns(0)};
   // links_[src * nodes_ + dst]; diagonal entries are the intra-node path.
   std::vector<std::unique_ptr<Link>> links_;
+  // One batcher per materialized channel, same indexing.
+  std::vector<std::unique_ptr<LinkBatcher>> batchers_;
 };
 
 }  // namespace dkf::net

@@ -1,0 +1,57 @@
+#include "net/link_batcher.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dkf::net {
+
+void LinkBatcher::enqueue(TimeNs t, Callback cb) {
+  DKF_CHECK_MSG(fifo_.empty() || t >= fifo_.back().time,
+                "link deliveries must be enqueued in wire order: " << t
+                    << " after " << fifo_.back().time);
+  fifo_.push_back(Entry{t, eng_->allocSeq(), std::move(cb)});
+  // A delivery enqueued from inside fire() (a completion callback that
+  // immediately sends again) is picked up by fire()'s re-arm instead.
+  if (!armed_ && !firing_) arm();
+}
+
+void LinkBatcher::arm() {
+  const Entry& head = fifo_.front();
+  armed_ = true;
+  ++armed_events_;
+  eng_->scheduleAtSeq(head.time + window_, head.seq, [this] { fire(); });
+}
+
+void LinkBatcher::fire() {
+  armed_ = false;
+  firing_ = true;
+  const TimeNs now = eng_->now();
+  Entry head = std::move(fifo_.front());
+  fifo_.pop_front();
+  ++deliveries_;
+  head.cb();
+  std::uint64_t prev_seq = head.seq;
+  std::size_t run = 1;
+  while (!fifo_.empty()) {
+    const Entry& next = fifo_.front();
+    const bool joins = window_ > 0
+                           ? next.time <= now
+                           : next.time == now && next.seq == prev_seq + 1;
+    if (!joins) break;
+    Entry e = std::move(fifo_.front());
+    fifo_.pop_front();
+    prev_seq = e.seq;
+    ++deliveries_;
+    ++run;
+    e.cb();
+  }
+  if (run > 1) {
+    ++coalesced_runs_;
+    coalesced_deliveries_ += run - 1;
+  }
+  firing_ = false;
+  if (!fifo_.empty()) arm();
+}
+
+}  // namespace dkf::net

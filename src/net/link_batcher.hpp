@@ -1,0 +1,96 @@
+// Per-link delivery coalescing (MODEL.md §13).
+//
+// Every transfer on a link completes at a delivery time computed by
+// Link::transferAt, which serializes the wire: per link, delivery times are
+// non-decreasing in issue order. The batcher exploits that: instead of one
+// engine event per delivery, deliveries park in a per-link FIFO and only the
+// FIFO *head* occupies the engine queue. When the head fires, the batcher
+// runs it plus any immediately-following deliveries that are provably next
+// in the global event order, then re-arms the new head — one heap push and
+// one pop carry N completions.
+//
+// Exactness. Each delivery reserves its engine sequence number with
+// Engine::allocSeq() at enqueue time — the seq an eager scheduleAt would
+// have consumed — and the head is armed under that reserved (time, seq) key
+// via scheduleAtSeq. The armed event therefore pops exactly when the eager
+// event would have. In-event coalescing is restricted to *contiguous-seq
+// same-time runs*: a parked entry (t, s+1) directly following the fired
+// entry (t, s) can run in the same event because no foreign event can sit
+// between them in the total order (seqs are unique, everything ordered
+// before (t, s+1) has already run, and events scheduled from inside the
+// current event get strictly larger seqs). With the default window of 0 the
+// batched event stream is byte-identical to the unbatched one.
+//
+// Window. An optional coalescing window W > 0 delivers every parked entry
+// with time <= head.time + W at head.time + W — NIC interrupt moderation.
+// That trades exact per-message timing (bounded by W) for fewer events and
+// is OFF by default; everything that gates on byte-identity keeps W = 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+#include "sim/callback.hpp"
+#include "sim/engine.hpp"
+
+namespace dkf::net {
+
+class LinkBatcher {
+ public:
+  /// Same budget as an engine event slot: delivery closures (payload spans,
+  /// owned eager snapshots, completion hooks) park here unchanged.
+  using Callback = sim::EventCallback;
+
+  explicit LinkBatcher(sim::Engine& eng, DurationNs window = ns(0))
+      : eng_(&eng), window_(window) {}
+  LinkBatcher(const LinkBatcher&) = delete;
+  LinkBatcher& operator=(const LinkBatcher&) = delete;
+
+  /// Park a delivery that completes at `t`. `t` must be >= the previously
+  /// enqueued delivery time (guaranteed by Link wire serialization).
+  void enqueue(TimeNs t, Callback cb);
+
+  /// Coalescing window; 0 (default) keeps the event stream exact.
+  void setWindow(DurationNs w) { window_ = w; }
+  DurationNs window() const { return window_; }
+
+  std::size_t pending() const { return fifo_.size(); }
+
+  // ---- Instrumentation (tests + bench) ----
+  /// Deliveries executed.
+  std::size_t deliveries() const { return deliveries_; }
+  /// Engine events armed; deliveries() - armedFires() were coalesced.
+  std::size_t armedEvents() const { return armed_events_; }
+  /// Events that carried more than one delivery.
+  std::size_t coalescedRuns() const { return coalesced_runs_; }
+  /// Deliveries that rode along in another delivery's event.
+  std::size_t coalescedDeliveries() const { return coalesced_deliveries_; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;  // reserved engine key (allocSeq at enqueue)
+    Callback cb;
+  };
+
+  /// Put the FIFO head into the engine queue under its reserved key.
+  void arm();
+  /// Head event fired: deliver it plus any provably-next parked entries,
+  /// then re-arm the new head.
+  void fire();
+
+  sim::Engine* eng_;
+  DurationNs window_;
+  std::deque<Entry> fifo_;
+  bool armed_{false};
+  bool firing_{false};
+
+  std::size_t deliveries_{0};
+  std::size_t armed_events_{0};
+  std::size_t coalesced_runs_{0};
+  std::size_t coalesced_deliveries_{0};
+};
+
+}  // namespace dkf::net
