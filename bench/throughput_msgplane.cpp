@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_util/table.hpp"
+#include "core/fusion_plan.hpp"
 #include "ddt/datatype.hpp"
 #include "hw/cluster.hpp"
 #include "hw/machines.hpp"
@@ -131,6 +132,10 @@ struct ModeResult {
   std::size_t batched_deliveries{};
   std::size_t armed_events{};
   std::size_t coalesced_deliveries{};
+  /// Compiled-plan cache traffic summed over all ranks, with the
+  /// per-tenant attribution (this bench is single-tenant: index 0 only).
+  core::PlanCacheCounters plan_cache{};
+  std::vector<core::PlanCacheCounters> tenant_plan_cache{};
   double msgs_per_sec() const { return static_cast<double>(messages) / wall_s; }
 };
 
@@ -174,6 +179,17 @@ ModeResult runMode(const std::string& name, std::size_t total_msgs,
   r.batched_deliveries = cluster.fabric().batchedDeliveries();
   r.armed_events = cluster.fabric().batchedArmedEvents();
   r.coalesced_deliveries = cluster.fabric().coalescedDeliveries();
+  for (int rank = 0; rank < ranks; ++rank) {
+    const core::PlanCache& pc = rt.proc(rank).planCache();
+    r.plan_cache += pc.counters();
+    const auto& per_tenant = pc.tenantCounters();
+    if (per_tenant.size() > r.tenant_plan_cache.size()) {
+      r.tenant_plan_cache.resize(per_tenant.size());
+    }
+    for (std::size_t t = 0; t < per_tenant.size(); ++t) {
+      r.tenant_plan_cache[t] += per_tenant[t];
+    }
+  }
   return r;
 }
 
@@ -270,6 +286,18 @@ int main(int argc, char** argv) {
          << ", \"batched_deliveries\": " << m.batched_deliveries
          << ", \"armed_events\": " << m.armed_events
          << ", \"coalesced_deliveries\": " << m.coalesced_deliveries
+         << ", \"plan_cache\": {\"hits\": " << m.plan_cache.hits
+         << ", \"misses\": " << m.plan_cache.misses
+         << ", \"fallbacks\": " << m.plan_cache.fallbacks
+         << ", \"tenant_hits\": [";
+    for (std::size_t t = 0; t < m.tenant_plan_cache.size(); ++t) {
+      json << (t ? ", " : "") << m.tenant_plan_cache[t].hits;
+    }
+    json << "], \"tenant_misses\": [";
+    for (std::size_t t = 0; t < m.tenant_plan_cache.size(); ++t) {
+      json << (t ? ", " : "") << m.tenant_plan_cache[t].misses;
+    }
+    json << "]}"
          << ", \"virtual_end_ns\": " << m.vtime << "}"
          << (i + 1 < modes.size() ? "," : "") << "\n";
   }

@@ -1,0 +1,33 @@
+#include "bench_util/percentiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dkf::bench {
+
+namespace {
+
+double nearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+PercentileSummary summarizePercentiles(const SampleSet& s) {
+  return summarizePercentiles(s.samples());
+}
+
+PercentileSummary summarizePercentiles(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  PercentileSummary out;
+  out.p50 = nearestRank(samples, 50.0);
+  out.p99 = nearestRank(samples, 99.0);
+  out.p999 = nearestRank(samples, 99.9);
+  return out;
+}
+
+}  // namespace dkf::bench

@@ -1,0 +1,35 @@
+// Tenant identity for the multi-tenant serving plane (MODEL.md §14).
+//
+// A TenantId names one job/communicator sharing the cluster. Tenant 0 is
+// the default tenant: every request, transfer and cache access that never
+// mentions a tenant belongs to it, so single-tenant configurations behave
+// (and time) exactly as before the serving plane existed. Tenant ids are
+// small dense integers — per-tenant state everywhere is a vector grown on
+// demand, never a hash map on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dkf {
+
+using TenantId = std::uint32_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Relative service weights for weighted arbitration and shared-link
+/// bandwidth splitting. Unlisted (or non-positive) tenants weigh 1.0, so an
+/// empty TenantWeights is plain fair sharing.
+struct TenantWeights {
+  std::vector<double> weights;
+
+  double weightOf(TenantId t) const {
+    return t < weights.size() && weights[t] > 0.0 ? weights[t] : 1.0;
+  }
+  void set(TenantId t, double w) {
+    if (t >= weights.size()) weights.resize(t + 1, 0.0);
+    weights[t] = w;
+  }
+};
+
+}  // namespace dkf

@@ -80,21 +80,32 @@ FusionRequest CompiledStep::bind(ddt::LayoutPtr live_layout,
 
 PlanCache::PlanCache(PlanCacheLimits limits) : limits_(limits) {}
 
-CompiledPlanPtr PlanCache::find(const PlanKey& key) {
+PlanCacheCounters& PlanCache::tenantSlot(TenantId t) {
+  if (t >= tenant_counters_.size()) tenant_counters_.resize(t + 1);
+  return tenant_counters_[t];
+}
+
+CompiledPlanPtr PlanCache::find(const PlanKey& key, TenantId tenant) {
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     ++counters_.misses;
+    ++tenantSlot(tenant).misses;
     return nullptr;
   }
   ++counters_.hits;
+  ++tenantSlot(tenant).hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   sampleTrace();
   return it->second.plan;
 }
 
-void PlanCache::insert(const PlanKey& key, CompiledPlanPtr plan) {
+void PlanCache::insert(const PlanKey& key, CompiledPlanPtr plan,
+                       TenantId tenant) {
   DKF_CHECK(plan != nullptr);
-  if (plan->fallback && plan->solver_scheme < 0) ++counters_.fallbacks;
+  if (plan->fallback && plan->solver_scheme < 0) {
+    ++counters_.fallbacks;
+    ++tenantSlot(tenant).fallbacks;
+  }
   if (const auto it = cache_.find(key); it != cache_.end()) {
     resident_bytes_ -= it->second.bytes;
     lru_.erase(it->second.lru);
@@ -150,6 +161,7 @@ void PlanCache::clear() {
   cache_.clear();
   lru_.clear();
   counters_ = PlanCacheCounters{};
+  tenant_counters_.clear();
   resident_bytes_ = 0;
 }
 

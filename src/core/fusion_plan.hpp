@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/tenant.hpp"
 #include "core/request_list.hpp"
 #include "ddt/layout.hpp"
 
@@ -155,15 +156,22 @@ class PlanCache {
   PlanCache() : PlanCache(PlanCacheLimits{}) {}
   explicit PlanCache(PlanCacheLimits limits);
 
-  /// Cached plan for `key`, or nullptr. Counts a hit or a miss and
-  /// refreshes LRU order on hit.
-  CompiledPlanPtr find(const PlanKey& key);
+  /// Cached plan for `key`, or nullptr. Counts a hit or a miss (globally
+  /// and against `tenant`'s counters) and refreshes LRU order on hit.
+  CompiledPlanPtr find(const PlanKey& key, TenantId tenant = kDefaultTenant);
 
   /// Insert a freshly compiled plan and enforce the budgets (the new entry
   /// itself is never the victim). Re-inserting an existing key replaces it.
-  void insert(const PlanKey& key, CompiledPlanPtr plan);
+  void insert(const PlanKey& key, CompiledPlanPtr plan,
+              TenantId tenant = kDefaultTenant);
 
   const PlanCacheCounters& counters() const { return counters_; }
+  /// Per-tenant hit/miss/fallback attribution (index = tenant id; evictions
+  /// are a shared-budget effect and stay global-only). May be shorter than
+  /// the tenant count if high tenants never compiled.
+  const std::vector<PlanCacheCounters>& tenantCounters() const {
+    return tenant_counters_;
+  }
   std::size_t hits() const { return counters_.hits; }
   std::size_t misses() const { return counters_.misses; }
   std::size_t evictions() const { return counters_.evictions; }
@@ -177,7 +185,10 @@ class PlanCache {
   /// Zero the counters, keeping the resident entries — benches call this
   /// after a warmup pass so the reported hit rate covers only measured
   /// traffic (compiled plans stay hot).
-  void resetCounters() { counters_ = PlanCacheCounters{}; }
+  void resetCounters() {
+    counters_ = PlanCacheCounters{};
+    tenant_counters_.clear();
+  }
 
   /// Attach a tracer (nullptr detaches): resident entries/bytes and the
   /// hit/miss counts become counter series named "<name>.*" sampled at
@@ -194,11 +205,13 @@ class PlanCache {
 
   void enforceBudget(const PlanKey& keep);
   void sampleTrace();
+  PlanCacheCounters& tenantSlot(TenantId t);
 
   PlanCacheLimits limits_;
   std::map<PlanKey, Entry> cache_;
   std::list<PlanKey> lru_;  // front = most recently used
   PlanCacheCounters counters_;
+  std::vector<PlanCacheCounters> tenant_counters_;
   std::size_t resident_bytes_{0};
 
   sim::Tracer* tracer_{nullptr};

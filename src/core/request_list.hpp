@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/tenant.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
 
@@ -51,6 +52,7 @@ struct FusionRequest {
                                     ///< non-contiguous dst (unpack/direct)
   ddt::LayoutPtr layout{};          ///< layout of the non-contiguous side
   ddt::LayoutPtr target_layout{};   ///< DirectIPC only: dst layout
+  TenantId tenant{kDefaultTenant};  ///< traffic class (MODEL.md §14)
   Status request_status{Status::Idle};
   Status response_status{Status::Idle};
 
@@ -69,6 +71,11 @@ class RequestList {
   std::size_t pendingCount() const { return pending_; }
   /// Sum of bytes over pending requests — the fusion-threshold input.
   std::size_t pendingBytes() const { return pending_bytes_; }
+  /// True if any pending (unclaimed) request belongs to `tenant`.
+  /// O(pending). Used by admission backpressure (MODEL.md §14): a blocked
+  /// tenant flushes only when it has work of its own to drain, so it never
+  /// shatters another tenant's kernel batching.
+  bool hasPendingFor(TenantId tenant) const;
   /// Requests currently executing on the GPU.
   std::size_t busyCount() const { return busy_; }
   /// Entries occupied (pending + busy + completed-not-yet-retired).
@@ -84,6 +91,17 @@ class RequestList {
   /// mark them Busy — the batch for one fused kernel (② in Fig. 5).
   /// O(batch size).
   std::vector<std::size_t> claimPendingBatch(std::size_t max_requests);
+
+  /// Weighted-fair claim (MODEL.md §14): pick up to `max_requests` pending
+  /// entries by deficit round robin over tenants — per visit a tenant's
+  /// credit grows by quantum_bytes x its weight and pays per claimed byte,
+  /// so an oversubscribed batch drains tenants in proportion to their
+  /// weights instead of arrival order. Within a tenant, oldest first; the
+  /// returned batch is in UID order. Degenerates to claimPendingBatch when
+  /// everything pending fits in one batch. O(pending).
+  std::vector<std::size_t> claimPendingBatchWeighted(
+      std::size_t max_requests, const TenantWeights& weights,
+      std::size_t quantum_bytes);
 
   /// ③ GPU-side completion: the fused kernel signals a request by writing
   /// its response status (no host synchronization involved). O(1).

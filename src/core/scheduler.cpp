@@ -84,12 +84,21 @@ DurationNs FusionScheduler::retryBackoff(std::size_t attempt) const {
 
 sim::Task<void> FusionScheduler::launchBatch() {
   const std::vector<std::size_t> batch =
-      list_.claimPendingBatch(policy_.max_requests_per_kernel);
+      policy_.weighted_fair
+          ? list_.claimPendingBatchWeighted(policy_.max_requests_per_kernel,
+                                            policy_.tenant_weights,
+                                            policy_.fair_quantum_bytes)
+          : list_.claimPendingBatch(policy_.max_requests_per_kernel);
   if (batch.empty()) co_return;
 
   std::size_t batch_bytes = 0;
   for (const std::size_t slot_index : batch) {
-    batch_bytes += list_.slot(slot_index).bytes();
+    const FusionRequest& r = list_.slot(slot_index);
+    batch_bytes += r.bytes();
+    if (r.tenant >= counters_.tenant_fused.size()) {
+      counters_.tenant_fused.resize(r.tenant + 1, 0);
+    }
+    ++counters_.tenant_fused[r.tenant];
   }
 
   // Lower each request to its kernel-op template ONCE per batch (the

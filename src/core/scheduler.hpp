@@ -67,6 +67,15 @@ struct FusionPolicy {
   DurationNs max_launch_retry_backoff{ms(2)};
   /// Host-side streaming rate (bytes/ns) of the degraded CPU pack path.
   double cpu_fallback_bytes_per_ns{4.0};
+
+  // ---- Multi-tenant serving plane (MODEL.md §14) ----
+  /// Claim fused batches by deficit round robin over tenants (weighted by
+  /// `tenant_weights`) instead of global FIFO order. Off (default) keeps
+  /// the seed claim byte-identical.
+  bool weighted_fair{false};
+  TenantWeights tenant_weights{};
+  /// DRR credit per tenant per claim rotation, in bytes.
+  std::size_t fair_quantum_bytes{64 * 1024};
 };
 
 /// Lifetime counters of the scheduler's hot path. The batch-size histogram
@@ -82,6 +91,8 @@ struct SchedulerCounters {
   std::size_t cpu_fallback_batches{0};
   std::size_t cpu_fallback_requests{0};
   std::vector<std::size_t> batch_size_hist;
+  /// Requests fused per tenant (index = tenant id; grown on demand).
+  std::vector<std::size_t> tenant_fused;
 };
 
 class FusionScheduler {
@@ -91,6 +102,7 @@ class FusionScheduler {
 
   const FusionPolicy& policy() const { return policy_; }
   RequestList& requests() { return list_; }
+  const RequestList& requests() const { return list_; }
 
   /// Attach a tracer; scheduler activity is emitted on tracks named
   /// "<name>.sched". Pass nullptr to detach.

@@ -95,7 +95,8 @@ void MsgPlane::sendRput(Proc& p, const RequestPtr& req) {
     }
     req->paired.reset();
     req->retrans_deadline = 0;
-    req->complete = true;
+    p.releaseSendToken(*req);
+    p.noteComplete(*req);
   }
 }
 

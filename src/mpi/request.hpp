@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/tenant.hpp"
 #include "common/units.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
@@ -31,6 +32,12 @@ struct Request {
   int peer{-1};
   int tag{0};
   Protocol protocol{Protocol::Eager};
+
+  // ---- Multi-tenant serving plane (MODEL.md §14) ----
+  TenantId tenant{kDefaultTenant};  ///< whose traffic class this is
+  TimeNs posted_at{0};              ///< isend/irecv issue time (latency base)
+  TimeNs completed_at{0};           ///< completion stamp (0 = still open)
+  bool counted_inflight{false};     ///< holds one admission token
 
   gpu::MemSpan user_buf{};       ///< the application buffer (origin)
   ddt::LayoutPtr layout{};       ///< flattened layout of user_buf

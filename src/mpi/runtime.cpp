@@ -25,6 +25,11 @@ Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
   if (cfg.tuned_max_requests > 0) {
     tuned.max_requests_per_kernel = cfg.tuned_max_requests;
   }
+  if (cfg.weighted_fair_batching) {
+    tuned.weighted_fair = true;
+    tuned.tenant_weights = cfg.contention.weights;
+    tuned.fair_quantum_bytes = cfg.contention.quantum_bytes;
+  }
   engine_ = schemes::makeEngine(cfg.scheme, rt.engine(), *cpu_, gpu, tuned);
 }
 
@@ -48,13 +53,65 @@ gpu::MemSpan Proc::allocDevice(std::size_t bytes) {
   return gpu_->memory().allocate(bytes);
 }
 
+// ------------------------------------- multi-tenant serving plane ----
+
+TenantStats& Proc::tenantState(TenantId t) {
+  if (t >= tenant_stats_.size()) tenant_stats_.resize(t + 1);
+  return tenant_stats_[t];
+}
+
+sim::Task<void> Proc::admitSend(const RequestPtr& req) {
+  releaseSendToken(*req);  // persistent restart: drop any stale token
+  const std::size_t limit = rt_->config().tenant_inflight_limit;
+  if (limit > 0 && tenantState(req->tenant).inflight >= limit) {
+    // Backpressure: the tenant's pending ring is full. Keep the progress
+    // engine turning (completions free tokens) and re-check each poll.
+    // Flush the DDT engine ONLY while this tenant has its own unlaunched
+    // batched work — that work must reach the wire for its tokens to come
+    // back. An unconditional flush here would let a throttled tenant
+    // shatter every other tenant's kernel batching into per-request
+    // launches: cross-tenant interference through the flush path.
+    ++tenantState(req->tenant).throttle_waits;
+    const TimeNs blocked_from = rt_->engine().now();
+    while (tenantState(req->tenant).inflight >= limit) {
+      co_await progressOnce();
+      if (engine_->hasPendingFusedWork(req->tenant)) {
+        co_await engine_->flush();
+      }
+      co_await engine().delay(rt_->config().poll_interval);
+    }
+    tenantState(req->tenant).throttled_ns +=
+        rt_->engine().now() - blocked_from;
+  }
+  TenantStats& ts = tenantState(req->tenant);
+  ++ts.admitted;
+  ++ts.inflight;
+  ts.peak_inflight = std::max(ts.peak_inflight, ts.inflight);
+  req->counted_inflight = true;
+}
+
+void Proc::noteComplete(Request& req) {
+  if (req.complete) return;
+  req.complete = true;
+  req.completed_at = rt_->engine().now();
+}
+
+void Proc::releaseSendToken(Request& req) {
+  if (!req.counted_inflight) return;
+  req.counted_inflight = false;
+  TenantStats& ts = tenantState(req.tenant);
+  DKF_CHECK(ts.inflight > 0);
+  --ts.inflight;
+}
+
 void Proc::freeDevice(const gpu::MemSpan& span) {
   gpu_->memory().deallocate(span);
 }
 
 core::CompiledPlanPtr Proc::planFor(core::FusionOp op,
                                     const ddt::LayoutPtr& layout,
-                                    const ddt::LayoutPtr& target_layout) {
+                                    const ddt::LayoutPtr& target_layout,
+                                    TenantId tenant) {
   core::FusionPlan plan;
   switch (op) {
     case core::FusionOp::Packing:
@@ -68,7 +125,7 @@ core::CompiledPlanPtr Proc::planFor(core::FusionOp op,
       break;
   }
   return schemes::compilePlanCached(plan_cache_, plan, rt_->config().scheme,
-                                    gpu_->nodeSpec());
+                                    gpu_->nodeSpec(), tenant);
 }
 
 RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
@@ -84,6 +141,8 @@ RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
   req->layout = layout;
   req->data_bytes = layout->size();
   req->is_contiguous = layout->isContiguous() && layout->minOffset() == 0;
+  req->tenant = current_tenant_;
+  req->posted_at = rt_->engine().now();
   return req;
 }
 
@@ -114,9 +173,14 @@ void Proc::resetActivationState(Request& req) {
   req.direct_retry = false;
   req.paired.reset();
   req.complete = false;
+  req.completed_at = 0;
+  // counted_inflight is deliberately left alone: the previous activation's
+  // admission token is still held until its payload drains off the wire
+  // (admitSend reconciles it).
 }
 
 sim::Task<void> Proc::activateSend(RequestPtr req) {
+  co_await admitSend(req);
   const auto& machine = rt_->cluster().machine();
   const bool intra = rt_->sameNode(rank_, req->peer);
 
@@ -138,7 +202,9 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
                     "non-contiguous send buffers must be GPU-resident");
       req->staging = allocDevice(req->data_bytes);
       req->staging_owned = true;
-      const auto plan = planFor(core::FusionOp::Packing, req->layout);
+      const auto plan =
+          planFor(core::FusionOp::Packing, req->layout, nullptr, req->tenant);
+      engine_->setActiveTenant(req->tenant);
       req->ticket = co_await engine_->submitPlanStep(
           *plan, 0, req->layout, nullptr, req->user_buf, req->staging);
       req->ticket_pending = true;
@@ -217,6 +283,7 @@ sim::Task<std::vector<RequestPtr>> Proc::isendBatch(
     DKF_CHECK(s.peer >= 0 && s.peer < worldSize());
     auto req =
         makeRequest(Request::Kind::Send, s.buf, s.type, s.count, s.peer, s.tag);
+    req->tenant = s.tenant;
     co_await activateSend(req);
     reqs.push_back(std::move(req));
   }
@@ -232,6 +299,7 @@ sim::Task<std::vector<RequestPtr>> Proc::irecvBatch(
     DKF_CHECK(s.peer == kAnySource || (s.peer >= 0 && s.peer < worldSize()));
     auto req =
         makeRequest(Request::Kind::Recv, s.buf, s.type, s.count, s.peer, s.tag);
+    req->tenant = s.tenant;
     co_await activateRecv(req);
     reqs.push_back(std::move(req));
   }
@@ -338,8 +406,12 @@ void Proc::sendEagerOnWire(const RequestPtr& req) {
   rt->cluster().fabric().sendMessage(
       rt->nodeOfRank(src_rank), rt->nodeOfRank(dst_rank), req->staging,
       [rt, src_rank, dst_rank, tag, seq, req](std::vector<std::byte> data) {
+        // The payload has drained off the wire: the sender's admission
+        // token frees even though the send itself completed at issue.
+        rt->proc(src_rank).releaseSendToken(*req);
         rt->proc(dst_rank).onEager(src_rank, tag, seq, req, std::move(data));
-      });
+      },
+      req->tenant);
 }
 
 void Proc::sendRtsOnWire(const RequestPtr& req) {
@@ -347,7 +419,7 @@ void Proc::sendRtsOnWire(const RequestPtr& req) {
   const int dst_rank = req->peer;
   rt->cluster().fabric().sendControl(
       rt->nodeOfRank(rank_), rt->nodeOfRank(dst_rank),
-      [rt, dst_rank, req] { rt->proc(dst_rank).onRts(req); });
+      [rt, dst_rank, req] { rt->proc(dst_rank).onRts(req); }, req->tenant);
 }
 
 // --------------------------------------------------------------------------
@@ -368,11 +440,12 @@ void Proc::issueEagerData(const RequestPtr& req) {
     return;
   }
   // Eager sends complete locally: the payload was captured on the wire.
+  // (The admission token stays held until the delivery callback runs.)
   if (req->staging_owned) {
     freeDevice(req->staging);
     req->staging_owned = false;
   }
-  req->complete = true;
+  noteComplete(*req);
 }
 
 void Proc::issueRts(const RequestPtr& req) {
@@ -396,7 +469,8 @@ void Proc::onEager(int src_rank, int msg_tag, std::uint64_t seq,
         rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
         [rt, sender_rank, sender_req] {
           rt->proc(sender_rank).onEagerAck(sender_req);
-        });
+        },
+        sender_req->tenant);
     ++transport_.acks_sent;
     if (!eager_seen_[src_rank].insert(seq).second) {
       ++transport_.duplicates_ignored;
@@ -421,7 +495,8 @@ void Proc::onEagerAck(RequestPtr sender_req) {
     sender_req->staging_owned = false;
   }
   sender_req->retrans_deadline = 0;
-  sender_req->complete = true;
+  releaseSendToken(*sender_req);
+  noteComplete(*sender_req);
 }
 
 void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
@@ -430,7 +505,7 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
                     << data.size() << " > " << recv->data_bytes << ")");
   if (recv->is_contiguous) {
     std::memcpy(recv->user_buf.bytes.data(), data.data(), data.size());
-    recv->complete = true;
+    noteComplete(*recv);
     return;
   }
   // Park the payload in the request and unpack through the DDT engine.
@@ -438,7 +513,9 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
   Proc* self = this;
   engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
     const gpu::MemSpan packed = gpu::MemSpan::host(r->eager_data);
-    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout);
+    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout,
+                                nullptr, r->tenant);
+    p.engine_->setActiveTenant(r->tenant);
     r->ticket = co_await p.engine_->submitPlanStep(*plan, 0, r->layout,
                                                    nullptr, packed,
                                                    r->user_buf);
@@ -446,7 +523,7 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
     if (p.engine_->done(r->ticket)) {
       r->ticket_pending = false;
       r->eager_data.clear();
-      r->complete = true;
+      p.noteComplete(*r);
     } else {
       p.markTimed(r);  // poll the unpack ticket every pass
     }
@@ -491,9 +568,11 @@ void Proc::answerDuplicateRts(const RequestPtr& sender_req) {
         // The CTS was lost: repeat the staging address.
         const gpu::MemSpan dst = prior->delivery_span;
         rt->cluster().fabric().sendControl(
-            my_node, sender_node, [rt, sender_rank, sender_req, dst] {
+            my_node, sender_node,
+            [rt, sender_rank, sender_req, dst] {
               rt->proc(sender_rank).onCts(sender_req, dst);
-            });
+            },
+            sender_req->tenant);
       }
       break;
     case Protocol::RGet:
@@ -501,17 +580,21 @@ void Proc::answerDuplicateRts(const RequestPtr& sender_req) {
         // The data landed but the FIN was lost: repeat it. (An expired
         // weak_ptr means the receive retired long ago.)
         rt->cluster().fabric().sendControl(
-            my_node, sender_node, [rt, sender_rank, sender_req] {
+            my_node, sender_node,
+            [rt, sender_rank, sender_req] {
               rt->proc(sender_rank).onFin(sender_req);
-            });
+            },
+            sender_req->tenant);
       }
       break;
     case Protocol::DirectIpc:
       if (!prior || prior->complete) {
         rt->cluster().fabric().sendControl(
-            my_node, sender_node, [rt, sender_rank, sender_req] {
+            my_node, sender_node,
+            [rt, sender_rank, sender_req] {
               rt->proc(sender_rank).onFin(sender_req);
-            });
+            },
+            sender_req->tenant);
       }
       break;
     case Protocol::Eager:
@@ -562,9 +645,11 @@ void Proc::startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req) {
       sender_req->paired = recv;
       const gpu::MemSpan dst = recv->delivery_span;
       rt->cluster().fabric().sendControl(
-          my_node, sender_node, [rt, sender_rank, sender_req, dst] {
+          my_node, sender_node,
+          [rt, sender_rank, sender_req, dst] {
             rt->proc(sender_rank).onCts(sender_req, dst);
-          });
+          },
+          sender_req->tenant);
       break;
     }
     case Protocol::Eager:
@@ -587,12 +672,14 @@ void Proc::issueRgetRead(const RequestPtr& recv, const RequestPtr& sender_req) {
         // FIN releases the sender's packed buffer.
         const int sender_rank = sender_req->owner_rank;
         rt->cluster().fabric().sendControl(
-            my_node, sender_node, [rt, sender_rank, sender_req] {
+            my_node, sender_node,
+            [rt, sender_rank, sender_req] {
               rt->proc(sender_rank).onFin(sender_req);
-            });
+            },
+            sender_req->tenant);
         self->finishRecvData(recv);
       },
-      [recv] { return !recv->data_delivered; });
+      [recv] { return !recv->data_delivered; }, sender_req->tenant);
 }
 
 void Proc::issueRputData(const RequestPtr& req) {
@@ -612,7 +699,7 @@ void Proc::issueRputData(const RequestPtr& req) {
           receiver->finishRecvData(recv);
         }
       },
-      [req] { return !req->data_delivered; });
+      [req] { return !req->data_delivered; }, req->tenant);
 }
 
 void Proc::onCts(RequestPtr sender_req, gpu::MemSpan recv_staging) {
@@ -639,17 +726,20 @@ void Proc::onFin(RequestPtr sender_req) {
   }
   sender_req->paired.reset();
   sender_req->retrans_deadline = 0;
-  sender_req->complete = true;
+  releaseSendToken(*sender_req);
+  noteComplete(*sender_req);
 }
 
 void Proc::finishRecvData(RequestPtr recv) {
   if (recv->is_contiguous) {
-    recv->complete = true;
+    noteComplete(*recv);
     return;
   }
   Proc* self = this;
   engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
-    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout);
+    const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout,
+                                nullptr, r->tenant);
+    p.engine_->setActiveTenant(r->tenant);
     r->ticket = co_await p.engine_->submitPlanStep(*plan, 0, r->layout,
                                                    nullptr, r->staging,
                                                    r->user_buf);
@@ -657,7 +747,7 @@ void Proc::finishRecvData(RequestPtr recv) {
     if (p.engine_->done(r->ticket)) {
       r->ticket_pending = false;
       p.releaseRecvStaging(*r);
-      r->complete = true;
+      p.noteComplete(*r);
     } else {
       p.markTimed(r);  // poll the unpack ticket every pass
     }
@@ -676,7 +766,8 @@ void Proc::releaseRecvStaging(Request& r) {
 
 sim::Task<void> Proc::tryDirect(RequestPtr recv) {
   const auto plan = planFor(core::FusionOp::DirectIPC, recv->remote_layout,
-                            recv->layout);
+                            recv->layout, recv->tenant);
+  engine_->setActiveTenant(recv->tenant);
   const auto t = co_await engine_->submitPlanStep(
       *plan, 0, recv->remote_layout, recv->layout, recv->remote_origin,
       recv->user_buf);
@@ -703,9 +794,10 @@ void Proc::finishTicketedRecv(const RequestPtr& req) {
         rt->nodeOfRank(rank_), rt->nodeOfRank(sender_rank),
         [rt, sender_rank, sender_req] {
           rt->proc(sender_rank).onFin(sender_req);
-        });
+        },
+        sender_req->tenant);
   }
-  req->complete = true;
+  noteComplete(*req);
 }
 
 sim::Task<void> Proc::progressRequest(RequestPtr req) {
@@ -754,7 +846,8 @@ sim::Task<void> Proc::progressRequest(RequestPtr req) {
           }
           req->paired.reset();
           req->retrans_deadline = 0;
-          req->complete = true;
+          releaseSendToken(*req);
+          noteComplete(*req);
         }
         break;
       case Protocol::DirectIpc:
@@ -934,7 +1027,9 @@ sim::Task<void> Proc::pack(gpu::MemSpan origin, ddt::DatatypePtr type,
   co_await cpu_->busy(rt_->config().call_overhead);
   auto layout = layout_cache_.get(type, count);
   DKF_CHECK(packed.size() >= layout->size());
-  const auto plan = planFor(core::FusionOp::Packing, layout);
+  const auto plan =
+      planFor(core::FusionOp::Packing, layout, nullptr, current_tenant_);
+  engine_->setActiveTenant(current_tenant_);
   const auto t = co_await engine_->submitPlanStep(*plan, 0, layout, nullptr,
                                                   origin, packed);
   while (!engine_->done(t)) {
@@ -948,7 +1043,9 @@ sim::Task<void> Proc::unpack(gpu::MemSpan packed, gpu::MemSpan origin,
   co_await cpu_->busy(rt_->config().call_overhead);
   auto layout = layout_cache_.get(type, count);
   DKF_CHECK(packed.size() >= layout->size());
-  const auto plan = planFor(core::FusionOp::Unpacking, layout);
+  const auto plan =
+      planFor(core::FusionOp::Unpacking, layout, nullptr, current_tenant_);
+  engine_->setActiveTenant(current_tenant_);
   const auto t = co_await engine_->submitPlanStep(*plan, 0, layout, nullptr,
                                                   packed, origin);
   while (!engine_->done(t)) {
@@ -981,6 +1078,9 @@ Runtime::Runtime(hw::Cluster& cluster, RuntimeConfig config)
     : cluster_(&cluster), config_(config) {
   cluster.fabric().setDeliveryBatching(config_.delivery_batching);
   cluster.fabric().setBatchWindow(config_.msg_batch_window);
+  if (config_.contention.enabled) {
+    cluster.fabric().setContention(config_.contention);
+  }
   barrier_cv_ = std::make_unique<sim::CondVar>(cluster.engine());
   const std::size_t ranks = cluster.gpuCount();
   procs_.reserve(ranks);

@@ -21,10 +21,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/tenant.hpp"
 #include "core/fusion_plan.hpp"
 #include "ddt/datatype.hpp"
 #include "ddt/layout.hpp"
 #include "hw/cluster.hpp"
+#include "net/fabric.hpp"
 #include "mpi/match_table.hpp"
 #include "mpi/msg_plane.hpp"
 #include "mpi/request.hpp"
@@ -61,6 +63,17 @@ struct TransportCounters {
   std::size_t host_staging_fallbacks{0};
 };
 
+/// Per-tenant serving-plane counters, per rank (MODEL.md §14). All zeros
+/// for tenants that never submitted, and for every tenant when admission
+/// control is off.
+struct TenantStats {
+  std::size_t admitted{0};        ///< sends that entered the wire pipeline
+  std::size_t inflight{0};        ///< admission tokens currently held
+  std::size_t peak_inflight{0};
+  std::size_t throttle_waits{0};  ///< activations that had to block
+  DurationNs throttled_ns{0};     ///< virtual time spent admission-blocked
+};
+
 struct RuntimeConfig {
   schemes::Scheme scheme{schemes::Scheme::Proposed};
   /// Overrides for ProposedTuned (0 = keep the FusionPolicy default).
@@ -94,6 +107,23 @@ struct RuntimeConfig {
   /// NIC interrupt moderation and trades per-message timing (bounded by
   /// the window) for fewer events.
   DurationNs msg_batch_window{ns(0)};
+
+  // ---- Multi-tenant serving plane (MODEL.md §14) ----
+  /// Link-level contention model + DRR delivery arbitration (applied to
+  /// the cluster fabric at Runtime construction). Off = the seed
+  /// single-tenant FIFO wire, byte-identical.
+  net::ContentionConfig contention{};
+  /// Per-tenant admission window: a send blocks in activation while its
+  /// tenant already holds this many un-landed sends on this rank.
+  /// 0 = unlimited (no admission control, the default).
+  /// Admission tokens are released when the payload lands (or is ACKed
+  /// with reliability on); with admission on and data loss injected,
+  /// reliability must also be on, or tokens leak with the lost payloads.
+  std::size_t tenant_inflight_limit{0};
+  /// Weighted fair batching in the fusion scheduler: when a fused batch is
+  /// claimed, pending requests are taken per-tenant in proportion to the
+  /// contention weights instead of strict FIFO order.
+  bool weighted_fair_batching{false};
 };
 
 class Runtime;
@@ -140,6 +170,7 @@ class Proc {
     std::size_t count{1};
     int peer{0};
     int tag{0};
+    TenantId tenant{kDefaultTenant};
   };
   using RecvSpec = SendSpec;  // peer may be kAnySource, tag kAnyTag
   sim::Task<std::vector<RequestPtr>> isendBatch(std::vector<SendSpec> specs);
@@ -185,6 +216,18 @@ class Proc {
 
   /// Reliable-transport counters (all zero when reliability is off).
   const TransportCounters& transport() const { return transport_; }
+
+  // ---- Multi-tenant serving plane (MODEL.md §14) ----
+  /// Tenant stamped onto requests issued from now on by this rank's
+  /// application code (isend/irecv/...); SendSpec::tenant overrides per
+  /// entry in the batch front door.
+  void setTenant(TenantId t) { current_tenant_ = t; }
+  TenantId tenant() const { return current_tenant_; }
+  /// Per-tenant admission/serving counters (index = tenant id; may be
+  /// shorter than the tenant count if high tenants never sent).
+  const std::vector<TenantStats>& tenantStats() const {
+    return tenant_stats_;
+  }
 
   /// The runtime's configuration (collectives read the preferred scheme
   /// when pre-compiling their per-hop fusion plans).
@@ -288,9 +331,24 @@ class Proc {
   /// LayoutCache: charges no virtual time.
   core::CompiledPlanPtr planFor(core::FusionOp op,
                                 const ddt::LayoutPtr& layout,
-                                const ddt::LayoutPtr& target_layout = nullptr);
+                                const ddt::LayoutPtr& target_layout = nullptr,
+                                TenantId tenant = kDefaultTenant);
   /// Reset per-activation protocol state (persistent restarts).
   static void resetActivationState(Request& req);
+  /// Per-tenant state slot (grown on demand).
+  TenantStats& tenantState(TenantId t);
+  /// Block until the request's tenant is under its inflight window, then
+  /// take an admission token. No-op (and no suspension) when
+  /// tenant_inflight_limit is 0.
+  sim::Task<void> admitSend(const RequestPtr& req);
+  /// Stamp completion (latency bookkeeping) — every path that sets
+  /// `complete = true` funnels through here.
+  void noteComplete(Request& req);
+  /// Return the admission token held by a send whose payload has landed
+  /// (delivery/ACK/FIN/RPut data). Idempotent; separate from noteComplete
+  /// because unreliable eager sends complete at issue, long before the
+  /// wire drains.
+  void releaseSendToken(Request& req);
   /// Run the send-side activation (protocol choice, pack submission).
   sim::Task<void> activateSend(RequestPtr req);
   /// Run the recv-side activation (matching, posting).
@@ -320,6 +378,10 @@ class Proc {
 
   // Next unissued collective tag (see allocCollectiveTags).
   int next_collective_tag_{kCollectiveTagBase};
+
+  // Multi-tenant serving plane.
+  TenantId current_tenant_{kDefaultTenant};
+  std::vector<TenantStats> tenant_stats_;
 
   // Reliable-transport state.
   TransportCounters transport_;

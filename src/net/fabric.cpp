@@ -24,17 +24,64 @@ Fabric::Fabric(sim::Engine& eng, const hw::MachineSpec& machine,
 LinkBatcher& Fabric::batcherBetween(int src_node, int dst_node) {
   auto& slot = batchers_[static_cast<std::size_t>(src_node) * nodes_ +
                          static_cast<std::size_t>(dst_node)];
-  if (!slot) slot = std::make_unique<LinkBatcher>(*eng_, batch_window_);
+  if (!slot) {
+    slot = std::make_unique<LinkBatcher>(*eng_, batch_window_);
+    if (contention_.enabled) {
+      ArbiterConfig cfg;
+      cfg.policy = ArbiterPolicy::Drr;
+      cfg.weights = &contention_.weights;
+      cfg.quantum_bytes = contention_.quantum_bytes;
+      slot->setArbiter(cfg);
+    }
+  }
   return *slot;
 }
 
-void Fabric::deliver(int src_node, int dst_node, TimeNs t,
-                     LinkBatcher::Callback cb) {
+void Fabric::deliver(int src_node, int dst_node, TimeNs t, TenantId tenant,
+                     std::size_t bytes, LinkBatcher::Callback cb) {
   if (batching_) {
-    batcherBetween(src_node, dst_node).enqueue(t, std::move(cb));
+    batcherBetween(src_node, dst_node).enqueue(t, tenant, bytes,
+                                               std::move(cb));
   } else {
     eng_->scheduleAt(t, std::move(cb));
   }
+}
+
+TimeNs Fabric::reserveWire(Link& link, TenantId tenant, TimeNs earliest,
+                           std::size_t bytes, double cap) {
+  if (contention_.enabled) {
+    return link.transferSharedAt(tenant, earliest, bytes, cap);
+  }
+  return link.transferAt(earliest, bytes, cap);
+}
+
+void Fabric::setContention(const ContentionConfig& cfg) {
+  contention_ = cfg;
+  if (contention_.quantum_bytes == 0) contention_.quantum_bytes = 64 * 1024;
+  if (!contention_.enabled) return;
+  for (auto& l : links_) {
+    if (l) l->setSharing(&contention_.weights);
+  }
+  for (auto& b : batchers_) {
+    if (b) {
+      ArbiterConfig bcfg;
+      bcfg.policy = ArbiterPolicy::Drr;
+      bcfg.weights = &contention_.weights;
+      bcfg.quantum_bytes = contention_.quantum_bytes;
+      b->setArbiter(bcfg);
+    }
+  }
+}
+
+std::vector<std::size_t> Fabric::tenantDeliveries() const {
+  std::vector<std::size_t> sums;
+  for (const auto& b : batchers_) {
+    if (!b) continue;
+    const auto& per = b->tenantDeliveries();
+    if (per.size() > sums.size()) sums.resize(per.size(), 0);
+    for (std::size_t t = 0; t < per.size(); ++t) sums[t] += per[t];
+  }
+  return sums;
 }
 
 void Fabric::setBatchWindow(DurationNs w) {
@@ -77,6 +124,7 @@ Link& Fabric::linkBetween(int src_node, int dst_node) {
     const hw::LinkSpec& spec =
         src_node == dst_node ? machine_.node.gpu_gpu : machine_.internode;
     slot = std::make_unique<Link>(*eng_, spec);
+    if (contention_.enabled) slot->setSharing(&contention_.weights);
   }
   return *slot;
 }
@@ -126,7 +174,8 @@ void Fabric::traceDrop(int src_node, int dst_node, const char* what) {
 }
 
 TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
-                        gpu::MemSpan dst, Fabric::Callback on_delivered) {
+                        gpu::MemSpan dst, Fabric::Callback on_delivered,
+                        TenantId tenant) {
   DKF_CHECK_MSG(dst.size() >= payload.size(),
                 "fabric destination too small: " << dst.size() << " < "
                                                  << payload.size());
@@ -135,15 +184,16 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
       src_node == dst_node ? 0.0 : directCap(payload, dst);
   bool down = false;
   const double eff_cap = degradedCap(cap, link, down);
-  const TimeNs delivery = link.transferAt(
-      departureTime(machine_.nic_per_message), payload.size(), eff_cap);
+  const TimeNs delivery = reserveWire(
+      link, tenant, departureTime(machine_.nic_per_message), payload.size(),
+      eff_cap);
   traceTransfer(src_node, dst_node, "data", payload.size(), eng_->now(),
                 delivery);
   if (down || (faults_ && faults_->dropData())) {
     traceDrop(src_node, dst_node, "data");
     return delivery;  // wire time was spent; the payload never lands
   }
-  deliver(src_node, dst_node, delivery,
+  deliver(src_node, dst_node, delivery, tenant, payload.size(),
           [payload, dst, cb = std::move(on_delivered)]() mutable {
             std::memcpy(dst.bytes.data(), payload.bytes.data(),
                         payload.size());
@@ -153,19 +203,20 @@ TimeNs Fabric::sendData(int src_node, int dst_node, gpu::MemSpan payload,
 }
 
 TimeNs Fabric::sendControl(int src_node, int dst_node,
-                           Fabric::Callback on_delivered) {
+                           Fabric::Callback on_delivered, TenantId tenant) {
   Link& link = linkBetween(src_node, dst_node);
   bool down = false;
   const double eff_cap = degradedCap(0.0, link, down);
-  const TimeNs delivery = link.transferAt(
-      departureTime(machine_.nic_per_message), kControlPacketBytes, eff_cap);
+  const TimeNs delivery = reserveWire(
+      link, tenant, departureTime(machine_.nic_per_message),
+      kControlPacketBytes, eff_cap);
   traceTransfer(src_node, dst_node, "ctrl", kControlPacketBytes, eng_->now(),
                 delivery);
   if (down || (faults_ && faults_->dropControl())) {
     traceDrop(src_node, dst_node, "ctrl");
     return delivery;
   }
-  deliver(src_node, dst_node, delivery,
+  deliver(src_node, dst_node, delivery, tenant, kControlPacketBytes,
           [cb = std::move(on_delivered)]() mutable {
             if (cb) cb();
           });
@@ -174,15 +225,16 @@ TimeNs Fabric::sendControl(int src_node, int dst_node,
 
 TimeNs Fabric::sendMessage(
     int src_node, int dst_node, gpu::MemSpan payload,
-    Fabric::MessageCallback on_delivered) {
+    Fabric::MessageCallback on_delivered, TenantId tenant) {
   Link& link = linkBetween(src_node, dst_node);
   const double cap = src_node == dst_node
                          ? 0.0
                          : directCap(payload, gpu::MemSpan{});
   bool down = false;
   const double eff_cap = degradedCap(cap, link, down);
-  const TimeNs delivery = link.transferAt(
-      departureTime(machine_.nic_per_message), payload.size(), eff_cap);
+  const TimeNs delivery = reserveWire(
+      link, tenant, departureTime(machine_.nic_per_message), payload.size(),
+      eff_cap);
   traceTransfer(src_node, dst_node, "eager", payload.size(), eng_->now(),
                 delivery);
   if (down || (faults_ && faults_->dropData())) {
@@ -195,7 +247,7 @@ TimeNs Fabric::sendMessage(
   std::vector<std::byte> snapshot;
   snapshot.reserve(payload.size());
   snapshot.insert(snapshot.end(), payload.bytes.begin(), payload.bytes.end());
-  deliver(src_node, dst_node, delivery,
+  deliver(src_node, dst_node, delivery, tenant, payload.size(),
           [data = std::move(snapshot),
            cb = std::move(on_delivered)]() mutable {
             if (cb) cb(std::move(data));
@@ -205,7 +257,7 @@ TimeNs Fabric::sendMessage(
 
 TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
                         gpu::MemSpan dst, Fabric::Callback on_done,
-                        Fabric::Predicate still_wanted) {
+                        Fabric::Predicate still_wanted, TenantId tenant) {
   DKF_CHECK(dst.size() >= src.size());
   // Request propagation to the target, then the data streams back over the
   // target->reader channel.
@@ -215,14 +267,15 @@ TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
       (reader_node == target_node ? ns(0) : machine_.internode.latency);
   bool down = false;
   const double eff_cap = degradedCap(directCap(src, dst), back, down);
-  const TimeNs delivery = back.transferAt(request_arrival, src.size(), eff_cap);
+  const TimeNs delivery =
+      reserveWire(back, tenant, request_arrival, src.size(), eff_cap);
   traceTransfer(target_node, reader_node, "rdma_read", src.size(),
                 eng_->now(), delivery);
   if (down || (faults_ && faults_->dropData())) {
     traceDrop(target_node, reader_node, "rdma_read");
     return delivery;
   }
-  deliver(target_node, reader_node, delivery,
+  deliver(target_node, reader_node, delivery, tenant, src.size(),
           [src, dst, cb = std::move(on_done),
            want = std::move(still_wanted)]() mutable {
             if (want && !want()) return;  // superseded by an earlier delivery
@@ -234,20 +287,20 @@ TimeNs Fabric::rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
 
 TimeNs Fabric::rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
                          gpu::MemSpan dst, Fabric::Callback on_done,
-                         Fabric::Predicate still_wanted) {
+                         Fabric::Predicate still_wanted, TenantId tenant) {
   DKF_CHECK(dst.size() >= src.size());
   Link& fwd = linkBetween(writer_node, target_node);
   bool down = false;
   const double eff_cap = degradedCap(directCap(src, dst), fwd, down);
-  const TimeNs delivery = fwd.transferAt(departureTime(machine_.rdma_setup),
-                                         src.size(), eff_cap);
+  const TimeNs delivery = reserveWire(
+      fwd, tenant, departureTime(machine_.rdma_setup), src.size(), eff_cap);
   traceTransfer(writer_node, target_node, "rdma_write", src.size(),
                 eng_->now(), delivery);
   if (down || (faults_ && faults_->dropData())) {
     traceDrop(writer_node, target_node, "rdma_write");
     return delivery;
   }
-  deliver(writer_node, target_node, delivery,
+  deliver(writer_node, target_node, delivery, tenant, src.size(),
           [src, dst, cb = std::move(on_done),
            want = std::move(still_wanted)]() mutable {
             if (want && !want()) return;  // superseded by an earlier delivery

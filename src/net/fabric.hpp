@@ -15,15 +15,28 @@
 #include <memory>
 #include <vector>
 
+#include "common/tenant.hpp"
 #include "fault/fault_plan.hpp"
 #include "gpu/memory.hpp"
 #include "hw/spec.hpp"
+#include "net/arbiter.hpp"
 #include "net/link.hpp"
 #include "net/link_batcher.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace dkf::net {
+
+/// Multi-tenant contention model (MODEL.md §14). Off by default: the fabric
+/// is the seed single-tenant FIFO wire and every existing golden stays
+/// byte-identical. Enabled, each link becomes a weighted processor-sharing
+/// wire (Link::setSharing) and each batcher arbitrates same-instant
+/// deliveries with deficit round robin over per-tenant queues.
+struct ContentionConfig {
+  bool enabled{false};
+  TenantWeights weights{};
+  std::size_t quantum_bytes{64 * 1024};
+};
 
 class Fabric {
  public:
@@ -42,11 +55,12 @@ class Fabric {
   /// Two-sided data message src_node -> dst_node. Copies `payload` into
   /// `dst` at delivery, then runs `on_delivered`. Returns the delivery time.
   TimeNs sendData(int src_node, int dst_node, gpu::MemSpan payload,
-                  gpu::MemSpan dst, Callback on_delivered);
+                  gpu::MemSpan dst, Callback on_delivered,
+                  TenantId tenant = kDefaultTenant);
 
   /// Small control packet (RTS/CTS/FIN). 64 bytes on the wire.
-  TimeNs sendControl(int src_node, int dst_node,
-                     Callback on_delivered);
+  TimeNs sendControl(int src_node, int dst_node, Callback on_delivered,
+                     TenantId tenant = kDefaultTenant);
 
   /// Two-sided message with *sender-side capture*: the payload is
   /// snapshotted at call time (MPI eager semantics — the sender may reuse
@@ -54,7 +68,8 @@ class Fabric {
   /// at delivery. Used for eager-protocol data whose destination buffer is
   /// not known until matching happens at the receiver.
   TimeNs sendMessage(int src_node, int dst_node, gpu::MemSpan payload,
-                     MessageCallback on_delivered);
+                     MessageCallback on_delivered,
+                     TenantId tenant = kDefaultTenant);
 
   /// One-sided RDMA READ issued by `reader_node` against `target_node`:
   /// a request propagates to the target, then data streams back. The copy
@@ -66,13 +81,15 @@ class Fabric {
   /// were re-used after the first copy landed.
   TimeNs rdmaRead(int reader_node, int target_node, gpu::MemSpan src,
                   gpu::MemSpan dst, Callback on_done,
-                  Predicate still_wanted = {});
+                  Predicate still_wanted = {},
+                  TenantId tenant = kDefaultTenant);
 
   /// One-sided RDMA WRITE issued by `writer_node` into `target_node`.
   /// `still_wanted` as for rdmaRead.
   TimeNs rdmaWrite(int writer_node, int target_node, gpu::MemSpan src,
                    gpu::MemSpan dst, Callback on_done,
-                   Predicate still_wanted = {});
+                   Predicate still_wanted = {},
+                   TenantId tenant = kDefaultTenant);
 
   std::size_t totalBytesCarried() const;
   std::size_t totalMessages() const;
@@ -104,12 +121,26 @@ class Fabric {
   std::size_t batchedArmedEvents() const;
   std::size_t coalescedDeliveries() const;
 
+  /// Enable the multi-tenant contention model: shared-bandwidth links and
+  /// DRR batchers. Only meaningful before traffic (links and batchers are
+  /// configured as they materialize).
+  void setContention(const ContentionConfig& cfg);
+  const ContentionConfig& contention() const { return contention_; }
+
+  /// Contention model: deliveries served per tenant, summed over links.
+  std::vector<std::size_t> tenantDeliveries() const;
+
  private:
   Link& linkBetween(int src_node, int dst_node);
   LinkBatcher& batcherBetween(int src_node, int dst_node);
   /// Hand a delivery closure to the channel's batcher (or the engine
   /// directly in shadow mode).
-  void deliver(int src_node, int dst_node, TimeNs t, LinkBatcher::Callback cb);
+  void deliver(int src_node, int dst_node, TimeNs t, TenantId tenant,
+               std::size_t bytes, LinkBatcher::Callback cb);
+  /// Wire reservation under the active model: shared per-tenant when
+  /// contention is enabled, plain FIFO otherwise.
+  TimeNs reserveWire(Link& link, TenantId tenant, TimeNs earliest,
+                     std::size_t bytes, double cap);
   /// Bandwidth cap (bytes/ns) for a transfer touching these spans; 0 = none.
   double directCap(const gpu::MemSpan& a, const gpu::MemSpan& b) const;
 
@@ -132,6 +163,7 @@ class Fabric {
   std::size_t nodes_;
   bool batching_{true};
   DurationNs batch_window_{ns(0)};
+  ContentionConfig contention_{};
   // links_[src * nodes_ + dst]; diagonal entries are the intra-node path.
   std::vector<std::unique_ptr<Link>> links_;
   // One batcher per materialized channel, same indexing.

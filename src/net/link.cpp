@@ -25,4 +25,38 @@ TimeNs Link::transfer(std::size_t bytes, double bandwidth_override) {
   return transferAt(eng_->now(), bytes, bandwidth_override);
 }
 
+TimeNs Link::transferSharedAt(TenantId tenant, TimeNs earliest,
+                              std::size_t bytes, double bandwidth_override) {
+  if (!sharing_) return transferAt(earliest, bytes, bandwidth_override);
+
+  if (tenant >= tenant_busy_.size()) tenant_busy_.resize(tenant + 1, 0);
+  const TimeNs start =
+      std::max({earliest, eng_->now(), tenant_busy_[tenant]});
+
+  // Weighted processor sharing: the transfer streams at the link rate times
+  // this tenant's weight share among the tenants whose backlog is still
+  // live at the start instant. A lone tenant gets the full rate — the
+  // single-tenant wire is numerically the FIFO wire.
+  double active_weight = 0.0;
+  for (TenantId u = 0; u < tenant_busy_.size(); ++u) {
+    if (u != tenant && tenant_busy_[u] > start) {
+      active_weight += sharing_->weightOf(u);
+    }
+  }
+  const double own = sharing_->weightOf(tenant);
+  const double share =
+      active_weight > 0.0 ? own / (own + active_weight) : 1.0;
+
+  double bw = spec_.bandwidth.bytesPerNs();
+  if (bandwidth_override > 0.0) bw = std::min(bw, bandwidth_override);
+  bw *= share;
+  const auto serialization = static_cast<DurationNs>(
+      std::ceil(static_cast<double>(bytes) / bw));
+  tenant_busy_[tenant] = start + serialization;
+  busy_until_ = std::max(busy_until_, tenant_busy_[tenant]);
+  bytes_carried_ += bytes;
+  ++messages_;
+  return tenant_busy_[tenant] + spec_.latency;
+}
+
 }  // namespace dkf::net

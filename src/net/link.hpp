@@ -3,10 +3,23 @@
 // inside a node. Transfers reserve the channel eagerly (deterministic
 // busy-until bookkeeping), so overlapping messages queue behind each other
 // exactly once regardless of event ordering.
+//
+// Two wire models share the bookkeeping:
+//   - FIFO (default): one busy_until_ for the whole channel; every transfer
+//     queues behind every earlier one regardless of who issued it.
+//   - Shared (setSharing): per-tenant busy_until, and a transfer streams at
+//     the link rate scaled by its tenant's weight share among the tenants
+//     with a live backlog — weighted processor sharing, the link-level
+//     contention model of MODEL.md §14. A tenant queues only behind its own
+//     backlog, so per-tenant delivery times stay non-decreasing (the
+//     invariant the per-tenant arbiter queues rely on) while an adversarial
+//     tenant can no longer park its whole window in front of everyone else.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
+#include "common/tenant.hpp"
 #include "common/units.hpp"
 #include "hw/spec.hpp"
 #include "sim/engine.hpp"
@@ -30,7 +43,24 @@ class Link {
   /// Convenience: transferAt(now, ...).
   TimeNs transfer(std::size_t bytes, double bandwidth_override = 0.0);
 
+  /// Switch to the shared (weighted processor-sharing) wire model. The
+  /// weights object must outlive the link; nullptr restores pure FIFO.
+  /// Only meaningful before traffic.
+  void setSharing(const TenantWeights* weights) { sharing_ = weights; }
+  bool sharing() const { return sharing_ != nullptr; }
+
+  /// Shared-model reservation for one tenant: the transfer starts after the
+  /// tenant's own backlog and streams at the link rate times the tenant's
+  /// weight share among tenants busy at that start time. Falls back to
+  /// transferAt when sharing is off.
+  TimeNs transferSharedAt(TenantId tenant, TimeNs earliest, std::size_t bytes,
+                          double bandwidth_override = 0.0);
+
   TimeNs busyUntil() const { return busy_until_; }
+  /// Shared model: when the given tenant's backlog drains (0 = untouched).
+  TimeNs tenantBusyUntil(TenantId t) const {
+    return t < tenant_busy_.size() ? tenant_busy_[t] : 0;
+  }
   std::size_t bytesCarried() const { return bytes_carried_; }
   std::size_t messagesCarried() const { return messages_; }
 
@@ -40,6 +70,9 @@ class Link {
   TimeNs busy_until_{0};
   std::size_t bytes_carried_{0};
   std::size_t messages_{0};
+
+  const TenantWeights* sharing_{nullptr};
+  std::vector<TimeNs> tenant_busy_;  // shared model only, grown on demand
 };
 
 }  // namespace dkf::net

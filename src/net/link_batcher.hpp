@@ -1,4 +1,5 @@
-// Per-link delivery coalescing (MODEL.md §13).
+// Per-link delivery coalescing (MODEL.md §13) with a pluggable head policy
+// (MODEL.md §14).
 //
 // Every transfer on a link completes at a delivery time computed by
 // Link::transferAt, which serializes the wire: per link, delivery times are
@@ -9,17 +10,28 @@
 // in the global event order, then re-arms the new head — one heap push and
 // one pop carry N completions.
 //
-// Exactness. Each delivery reserves its engine sequence number with
-// Engine::allocSeq() at enqueue time — the seq an eager scheduleAt would
-// have consumed — and the head is armed under that reserved (time, seq) key
-// via scheduleAtSeq. The armed event therefore pops exactly when the eager
-// event would have. In-event coalescing is restricted to *contiguous-seq
-// same-time runs*: a parked entry (t, s+1) directly following the fired
-// entry (t, s) can run in the same event because no foreign event can sit
-// between them in the total order (seqs are unique, everything ordered
-// before (t, s+1) has already run, and events scheduled from inside the
-// current event get strictly larger seqs). With the default window of 0 the
-// batched event stream is byte-identical to the unbatched one.
+// Exactness (FIFO policy). Each delivery reserves its engine sequence
+// number with Engine::allocSeq() at enqueue time — the seq an eager
+// scheduleAt would have consumed — and the head is armed under that
+// reserved (time, seq) key via scheduleAtSeq. The armed event therefore
+// pops exactly when the eager event would have. In-event coalescing is
+// restricted to *contiguous-seq same-time runs*: a parked entry (t, s+1)
+// directly following the fired entry (t, s) can run in the same event
+// because no foreign event can sit between them in the total order (seqs
+// are unique, everything ordered before (t, s+1) has already run, and
+// events scheduled from inside the current event get strictly larger seqs).
+// With the default window of 0 the batched event stream is byte-identical
+// to the unbatched one.
+//
+// DRR policy (setArbiter with ArbiterPolicy::Drr). Deliveries park in
+// per-tenant queues (each provably time-sorted: both wire models make a
+// tenant's delivery times non-decreasing), the earliest head across the
+// queues is armed under a fresh engine key, and a fired event serves every
+// ripe entry (time <= now) in deficit-round-robin order over the tenants —
+// see arbiter.hpp. Timing is untouched (every entry still runs at its own
+// delivery time); the policy decides ordering among same-instant ripe
+// entries and keeps the engine queue collapsed to one event per busy link
+// even when the global delivery stream is not monotone.
 //
 // Window. An optional coalescing window W > 0 delivers every parked entry
 // with time <= head.time + W at head.time + W — NIC interrupt moderation.
@@ -30,8 +42,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
+#include "common/tenant.hpp"
 #include "common/units.hpp"
+#include "net/arbiter.hpp"
 #include "sim/callback.hpp"
 #include "sim/engine.hpp"
 
@@ -48,15 +63,29 @@ class LinkBatcher {
   LinkBatcher(const LinkBatcher&) = delete;
   LinkBatcher& operator=(const LinkBatcher&) = delete;
 
-  /// Park a delivery that completes at `t`. `t` must be >= the previously
-  /// enqueued delivery time (guaranteed by Link wire serialization).
-  void enqueue(TimeNs t, Callback cb);
+  /// Park a delivery that completes at `t`. FIFO policy: `t` must be >= the
+  /// previously enqueued delivery time (guaranteed by Link wire
+  /// serialization). Deliveries enqueued this way belong to the default
+  /// tenant under the DRR policy.
+  void enqueue(TimeNs t, Callback cb) {
+    enqueue(t, kDefaultTenant, /*bytes=*/0, std::move(cb));
+  }
+
+  /// Park a delivery of `bytes` payload bytes for `tenant`. Under FIFO the
+  /// tenant and size are ignored (wire order is the policy); under DRR `t`
+  /// must be >= the previously enqueued delivery time *of this tenant*.
+  void enqueue(TimeNs t, TenantId tenant, std::size_t bytes, Callback cb);
+
+  /// Select the head policy (arbiter.hpp). Only meaningful before traffic:
+  /// switching with deliveries parked would strand them.
+  void setArbiter(const ArbiterConfig& cfg);
+  ArbiterPolicy policy() const { return arbiter_.policy; }
 
   /// Coalescing window; 0 (default) keeps the event stream exact.
   void setWindow(DurationNs w) { window_ = w; }
   DurationNs window() const { return window_; }
 
-  std::size_t pending() const { return fifo_.size(); }
+  std::size_t pending() const { return fifo_.size() + drr_pending_; }
 
   // ---- Instrumentation (tests + bench) ----
   /// Deliveries executed.
@@ -67,6 +96,10 @@ class LinkBatcher {
   std::size_t coalescedRuns() const { return coalesced_runs_; }
   /// Deliveries that rode along in another delivery's event.
   std::size_t coalescedDeliveries() const { return coalesced_deliveries_; }
+  /// DRR only: deliveries served per tenant (index = tenant id).
+  const std::vector<std::size_t>& tenantDeliveries() const {
+    return tenant_deliveries_;
+  }
 
  private:
   struct Entry {
@@ -74,12 +107,43 @@ class LinkBatcher {
     std::uint64_t seq;  // reserved engine key (allocSeq at enqueue)
     Callback cb;
   };
+  struct DrrEntry {
+    TimeNs time;
+    std::size_t bytes;
+    Callback cb;
+  };
+  struct TenantQueue {
+    std::deque<DrrEntry> q;
+    double deficit{0.0};
 
+    TenantQueue() = default;
+    // libstdc++'s deque move ctor lacks noexcept; without this
+    // vector::resize would move_if_noexcept -> copy the move-only entries.
+    TenantQueue(TenantQueue&& o) noexcept
+        : q(std::move(o.q)), deficit(o.deficit) {}
+    TenantQueue& operator=(TenantQueue&& o) noexcept {
+      q = std::move(o.q);
+      deficit = o.deficit;
+      return *this;
+    }
+  };
+
+  // ---- FIFO policy (the seed path, byte-identical) ----
   /// Put the FIFO head into the engine queue under its reserved key.
   void arm();
   /// Head event fired: deliver it plus any provably-next parked entries,
   /// then re-arm the new head.
   void fire();
+
+  // ---- DRR policy ----
+  /// Earliest parked delivery time across tenant queues (kNever if none).
+  TimeNs earliestHead() const;
+  /// Arm (or bring forward) the engine event for the earliest head.
+  void armDrr();
+  /// Serve every ripe entry in deficit-round-robin order, then re-arm.
+  void fireDrr(std::uint64_t generation);
+
+  static constexpr TimeNs kNever = ~TimeNs{0};
 
   sim::Engine* eng_;
   DurationNs window_;
@@ -87,10 +151,18 @@ class LinkBatcher {
   bool armed_{false};
   bool firing_{false};
 
+  ArbiterConfig arbiter_{};
+  std::vector<TenantQueue> queues_;  // DRR: per-tenant, grown on demand
+  std::size_t drr_pending_{0};
+  std::size_t drr_cursor_{0};        // rotation start for the next round
+  TimeNs armed_time_{kNever};
+  std::uint64_t arm_generation_{0};  // invalidates superseded armed events
+
   std::size_t deliveries_{0};
   std::size_t armed_events_{0};
   std::size_t coalesced_runs_{0};
   std::size_t coalesced_deliveries_{0};
+  std::vector<std::size_t> tenant_deliveries_;
 };
 
 }  // namespace dkf::net

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "common/stats.hpp"
+#include "common/tenant.hpp"
 #include "core/fusion_plan.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
@@ -102,6 +103,13 @@ class DdtEngine {
   /// launch/flush anything batched (fusion launch scenario 1, §IV-C).
   virtual sim::Task<void> flush();
 
+  /// True if `tenant` has batched work sitting unlaunched inside the
+  /// engine (MODEL.md §14). Admission backpressure flushes only when this
+  /// holds, so a throttled tenant never force-launches another tenant's
+  /// half-built batch. Engines without internal batching answer true
+  /// (conservative: their flush is a cheap no-op anyway).
+  virtual bool hasPendingFusedWork(TenantId) const { return true; }
+
   /// Fig. 11 cost categories accumulated so far.
   TimeBreakdown& breakdown() { return breakdown_; }
   const TimeBreakdown& breakdown() const { return breakdown_; }
@@ -109,9 +117,18 @@ class DdtEngine {
   /// Operations accepted since construction (pack + unpack + direct).
   std::size_t submissions() const { return submissions_; }
 
+  /// Tenant attribution for the NEXT submissions (MODEL.md §14). The
+  /// runtime sets this right before each submit*/submitPlanStep call;
+  /// engines with internal queues (FusionEngine) stamp it onto the
+  /// requests they enqueue so weighted-fair batching can tell tenants
+  /// apart. Engines without queues may ignore it.
+  void setActiveTenant(TenantId t) { active_tenant_ = t; }
+  TenantId activeTenant() const { return active_tenant_; }
+
  protected:
   TimeBreakdown breakdown_;
   std::size_t submissions_{0};
+  TenantId active_tenant_{kDefaultTenant};
 };
 
 }  // namespace dkf::schemes

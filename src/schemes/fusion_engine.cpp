@@ -12,6 +12,7 @@ FusionEngine::FusionEngine(sim::Engine& eng, sim::CpuTimeline& cpu,
 
 sim::Task<Ticket> FusionEngine::enqueueOrFallback(core::FusionRequest req) {
   ++submissions_;
+  req.tenant = active_tenant_;  // weighted-fair batching keys on this
   const std::int64_t uid = co_await scheduler_.enqueue(std::move(req));
   if (uid >= 0) co_return Ticket{uid};
   co_return Ticket{-1};  // list full; caller decides (we handle below)

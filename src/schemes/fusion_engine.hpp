@@ -53,6 +53,9 @@ class FusionEngine final : public DdtEngine {
   bool done(const Ticket& t) override;
   sim::Task<void> progress() override;
   sim::Task<void> flush() override;
+  bool hasPendingFusedWork(TenantId tenant) const override {
+    return scheduler_.requests().hasPendingFor(tenant);
+  }
 
   core::FusionScheduler& scheduler() { return scheduler_; }
   std::size_t fallbacks() const { return fallbacks_; }

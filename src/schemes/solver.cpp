@@ -170,12 +170,13 @@ core::CompiledPlanPtr compilePlan(const core::FusionPlan& plan,
 core::CompiledPlanPtr compilePlanCached(core::PlanCache& cache,
                                         const core::FusionPlan& plan,
                                         Scheme preferred,
-                                        const hw::NodeSpec& hw) {
+                                        const hw::NodeSpec& hw,
+                                        TenantId tenant) {
   const core::PlanKey key{plan.signature(), hwSignature(hw),
                           static_cast<int>(preferred)};
-  if (auto cached = cache.find(key)) return cached;
+  if (auto cached = cache.find(key, tenant)) return cached;
   auto compiled = compilePlan(plan, preferred, hw);
-  cache.insert(key, compiled);
+  cache.insert(key, compiled, tenant);
   return compiled;
 }
 

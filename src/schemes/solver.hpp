@@ -85,10 +85,13 @@ core::CompiledPlanPtr compilePlan(const core::FusionPlan& plan,
                                   Scheme preferred, const hw::NodeSpec& hw);
 
 /// Memoized compilePlan through `cache`, keyed by
-/// (plan.signature(), hwSignature(hw), preferred).
+/// (plan.signature(), hwSignature(hw), preferred). `tenant` only
+/// attributes the hit/miss to that tenant's cache counters — compiled
+/// plans themselves are shared across tenants (same key, same plan).
 core::CompiledPlanPtr compilePlanCached(core::PlanCache& cache,
                                         const core::FusionPlan& plan,
                                         Scheme preferred,
-                                        const hw::NodeSpec& hw);
+                                        const hw::NodeSpec& hw,
+                                        TenantId tenant = kDefaultTenant);
 
 }  // namespace dkf::schemes
