@@ -40,6 +40,7 @@
 
 #include "bench_util/percentiles.hpp"
 #include "bench_util/table.hpp"
+#include "common/alloc_count.hpp"
 #include "common/check.hpp"
 #include "core/fusion_plan.hpp"
 #include "ddt/datatype.hpp"
@@ -101,7 +102,21 @@ struct ModeResult {
   std::size_t peak_pending{0};
   std::size_t calendar_engagements{0};
   std::size_t degraded_transfers{0};
+  // Whole-run allocation accounting (zeros unless DKF_COUNT_ALLOCS) and
+  // payload-pool telemetry (net/payload.hpp).
+  std::size_t total_allocs{0};
+  net::PayloadPoolCounters pool{};
+  double pool_hit_rate{1.0};
+  std::size_t pool_peak_live_buffers{0};
+  std::size_t pool_peak_live_bytes{0};
+  std::size_t pool_live_end{0};
   TenantReport tenants[2];
+  double allocsPerMsg() const {
+    return messages > 0
+               ? static_cast<double>(total_allocs) /
+                     static_cast<double>(messages)
+               : 0.0;
+  }
 };
 
 /// The victim's datatype for message `i`: mostly contiguous bytes, every
@@ -248,6 +263,7 @@ ModeResult runMode(const ModeCfg& m) {
   vic_lat.reserve(static_cast<std::size_t>(m.rounds) * kVictimWindow);
 
   const int participants = m.adversary ? 3 : 2;
+  const std::uint64_t allocs0 = allocCount();
   const auto t0 = std::chrono::steady_clock::now();
   if (m.adversary) {
     eng.spawn(adversarySender(rt.proc(0), m, participants, adv_bufs[0]));
@@ -272,6 +288,13 @@ ModeResult runMode(const ModeCfg& m) {
   r.calendar_engagements = eng.calendarEngagements();
   if (plan) r.degraded_transfers = plan->counters().degraded_transfers;
   r.messages = vic_lat.size() + adv_lat.size();
+  r.total_allocs = static_cast<std::size_t>(allocCount() - allocs0);
+  const net::PayloadPool& pool = cluster.fabric().payloadPool();
+  r.pool = pool.counters();
+  r.pool_hit_rate = pool.hitRate();
+  r.pool_peak_live_buffers = pool.peakLiveBuffers();
+  r.pool_peak_live_bytes = pool.peakLiveBytes();
+  r.pool_live_end = pool.liveBuffers();
 
   r.tenants[kVictim].messages = vic_lat.size();
   r.tenants[kAdversary].messages = adv_lat.size();
@@ -446,6 +469,8 @@ int main(int argc, char** argv) {
        << "  \"burst_window\": " << kBurstWindow << ",\n"
        << "  \"tenant_weights\": [4, 1],\n"
        << "  \"tenant_inflight_limit\": " << kInflightLimit << ",\n"
+       << "  \"alloc_counting\": "
+       << (allocCountingEnabled() ? "true" : "false") << ",\n"
        << "  \"modes\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ModeResult& r = results[i];
@@ -457,6 +482,18 @@ int main(int argc, char** argv) {
          << ", \"peak_pending\": " << r.peak_pending
          << ", \"calendar_engagements\": " << r.calendar_engagements
          << ", \"degraded_transfers\": " << r.degraded_transfers
+         << ", \"allocs_per_msg\": " << r.allocsPerMsg()
+         << ", \"total_allocs\": " << r.total_allocs
+         << ", \"payload_pool\": {\"captures\": " << r.pool.captures
+         << ", \"inline_captures\": " << r.pool.inline_captures
+         << ", \"slab_allocs\": " << r.pool.slab_allocs
+         << ", \"slab_reuses\": " << r.pool.slab_reuses
+         << ", \"oversize_allocs\": " << r.pool.oversize_allocs
+         << ", \"trims\": " << r.pool.trims
+         << ", \"hit_rate\": " << r.pool_hit_rate
+         << ", \"peak_live_buffers\": " << r.pool_peak_live_buffers
+         << ", \"peak_live_bytes\": " << r.pool_peak_live_bytes
+         << ", \"live_at_end\": " << r.pool_live_end << "}"
          << ", \"tenants\": {\n";
     tenantJson(json, "victim", r.tenants[kVictim]);
     json << ",\n";

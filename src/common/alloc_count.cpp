@@ -1,0 +1,96 @@
+#include "common/alloc_count.hpp"
+
+#if DKF_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* countedAlloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* countedAlignedAlloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // posix_memalign demands a pointer-size multiple for the alignment.
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+
+void countedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void operator delete(void* p) noexcept { countedFree(p); }
+void operator delete[](void* p) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}
+
+namespace dkf {
+
+bool allocCountingEnabled() noexcept { return true; }
+std::uint64_t allocCount() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+std::uint64_t deallocCount() noexcept {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+}  // namespace dkf
+
+#else  // !DKF_COUNT_ALLOCS
+
+namespace dkf {
+
+bool allocCountingEnabled() noexcept { return false; }
+std::uint64_t allocCount() noexcept { return 0; }
+std::uint64_t deallocCount() noexcept { return 0; }
+
+}  // namespace dkf
+
+#endif

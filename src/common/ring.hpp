@@ -1,0 +1,122 @@
+// Capacity-retaining FIFO ring (MODEL.md §15).
+//
+// std::deque frees and reallocates its ~512-byte blocks as the queue
+// drains and refills, which puts one heap round-trip every few messages
+// on the payload hot path (a LinkBatcher entry is ~176 bytes — two per
+// block). RingQueue is the drop-in replacement for strict
+// push_back/front/pop_front use: a power-of-two circular buffer that
+// grows by doubling and never shrinks, so a warmed queue enqueues and
+// dequeues with zero allocations no matter how often it empties.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace dkf {
+
+template <class T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  RingQueue(RingQueue&& o) noexcept
+      : storage_(o.storage_), cap_(o.cap_), head_(o.head_), tail_(o.tail_) {
+    o.storage_ = nullptr;
+    o.cap_ = o.head_ = o.tail_ = 0;
+  }
+  RingQueue& operator=(RingQueue&& o) noexcept {
+    if (this != &o) {
+      destroyAll();
+      storage_ = o.storage_;
+      cap_ = o.cap_;
+      head_ = o.head_;
+      tail_ = o.tail_;
+      o.storage_ = nullptr;
+      o.cap_ = o.head_ = o.tail_ = 0;
+    }
+    return *this;
+  }
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+  ~RingQueue() { destroyAll(); }
+
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+
+  T& front() { return *slot(head_); }
+  const T& front() const { return *slot(head_); }
+  T& back() { return *slot(tail_ - 1); }
+  const T& back() const { return *slot(tail_ - 1); }
+
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+  void push_back(const T& v) { emplace_back(v); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size() == cap_) grow();
+    T* p = new (slot(tail_)) T(std::forward<Args>(args)...);
+    ++tail_;
+    return *p;
+  }
+
+  void pop_front() {
+    slot(head_)->~T();
+    ++head_;
+  }
+
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+ private:
+  T* slot(std::size_t i) const {
+    return static_cast<T*>(storage_) + (i & (cap_ - 1));
+  }
+
+  static void* allocStorage(std::size_t cap) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return ::operator new(cap * sizeof(T), std::align_val_t(alignof(T)));
+    } else {
+      return ::operator new(cap * sizeof(T));
+    }
+  }
+
+  static void freeStorage(void* p) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ ? cap_ * 2 : 8;
+    void* ns = allocStorage(new_cap);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      T* src = slot(head_ + i);
+      new (static_cast<T*>(ns) + i) T(std::move(*src));
+      src->~T();
+    }
+    freeStorage(storage_);
+    storage_ = ns;
+    cap_ = new_cap;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  void destroyAll() {
+    clear();
+    freeStorage(storage_);
+    storage_ = nullptr;
+    cap_ = head_ = tail_ = 0;
+  }
+
+  void* storage_{nullptr};
+  std::size_t cap_{0};
+  // Monotonic positions masked into the ring; size() = tail_ - head_.
+  std::size_t head_{0};
+  std::size_t tail_{0};
+};
+
+}  // namespace dkf

@@ -412,7 +412,7 @@ int bruckTag(int k, int d, int which, int radix) {
 struct BruckChunk {
   int src{0};
   int dst{0};
-  std::vector<std::byte> bytes;
+  net::PayloadRef bytes;  // staged in the payload pool (single capture)
 };
 
 constexpr std::size_t kBruckHeaderBytes =
@@ -463,8 +463,8 @@ sim::Task<void> bruckAlltoallv(Proc& proc, gpu::MemSpan send,
       BruckChunk c;
       c.src = me;
       c.dst = d;
-      c.bytes.assign(scratch.bytes.begin(),
-                     scratch.bytes.begin() + static_cast<std::ptrdiff_t>(bv.packed));
+      c.bytes = proc.payloadPool().capture(
+          {scratch.bytes.data(), bv.packed});
       pending.push_back(std::move(c));
     }
     proc.freeDevice(scratch);
@@ -567,9 +567,8 @@ sim::Task<void> bruckAlltoallv(Proc& proc, gpu::MemSpan send,
           BruckChunk c;
           c.src = csrc;
           c.dst = cdst;
-          c.bytes.assign(
-              payload.bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-              payload.bytes.begin() + static_cast<std::ptrdiff_t>(pos + clen));
+          c.bytes = proc.payloadPool().capture(
+              {payload.bytes.data() + pos, clen});
           pending.push_back(std::move(c));
         }
         pos += clen;

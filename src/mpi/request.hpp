@@ -9,6 +9,7 @@
 #include "common/units.hpp"
 #include "ddt/layout.hpp"
 #include "gpu/memory.hpp"
+#include "net/payload.hpp"
 #include "schemes/ddt_engine.hpp"
 
 namespace dkf::mpi {
@@ -47,8 +48,9 @@ struct Request {
   // Staging for packed data (owned -> freed at completion).
   gpu::MemSpan staging{};
   bool staging_owned{false};
-  // Eager payload parked at the receiver until unpack finishes.
-  std::vector<std::byte> eager_data;
+  // Eager payload parked at the receiver until unpack finishes (a ref into
+  // the sender node's payload pool — no copy on the park).
+  net::PayloadRef eager_data;
 
   // DDT-engine work in flight (pack on the sender, unpack/direct on the
   // receiver).
@@ -95,7 +97,13 @@ struct Request {
   std::weak_ptr<Request> rndv_recv;    ///< the matched receive (receiver-set)
   std::shared_ptr<Request> rget_sender{};  ///< RGet recv: sender for re-reads
   gpu::MemSpan delivery_span{};        ///< recv: where packed bytes land
-  std::vector<std::byte> host_staging; ///< degraded host staging (alloc fail)
+  net::PayloadRef host_staging;        ///< degraded host staging (alloc fail)
+  // Eager wire capture, taken once when the payload first departs. A
+  // retransmission bumps this ref instead of re-snapshotting the staging
+  // buffer, so every attempt carries byte-identical data. Released on ACK
+  // (or immediately after send when reliability is off).
+  net::PayloadRef wire_payload;
+  bool payload_captured{false};
 
   // Persistent-request support (MPI_Send_init / MPI_Recv_init):
   bool persistent{false};  ///< a reusable operation template

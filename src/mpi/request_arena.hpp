@@ -1,0 +1,92 @@
+// Pooled allocation for Request control blocks.
+//
+// makeRequest used to be one std::make_shared<Request> heap allocation per
+// message. allocate_shared through this allocator recycles the combined
+// (control block + Request) blocks on a per-Proc free list instead: the
+// block size is fixed for a given libstdc++, so after the first window the
+// steady state allocates nothing. The allocator state is shared_ptr-owned
+// because shared_ptr control blocks embed an allocator copy that must stay
+// valid until the last weak_ptr dies — potentially after the Proc itself
+// (Request::rndv_recv weak refs).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace dkf::mpi::detail {
+
+/// One size's worth of recycled blocks. Only the allocate_shared<Request>
+/// block size flows through in practice; anything else (e.g. a weak-count
+/// side allocation on an exotic library) falls through to the allocator.
+struct ArenaBlocks {
+  std::size_t block_size{0};  ///< recorded on first allocation
+  std::vector<void*> free_blocks;
+  std::size_t max_cached{1u << 16};
+  std::size_t heap_allocs{0};
+  std::size_t reuses{0};
+
+  ~ArenaBlocks() {
+    for (void* p : free_blocks) ::operator delete(p);
+  }
+};
+
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<ArenaBlocks> s)
+      : state_(std::move(s)) {}
+
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : state_(o.state_) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    ArenaBlocks& st = *state_;
+    if (st.block_size == 0) st.block_size = bytes;
+    if (bytes == st.block_size && !st.free_blocks.empty()) {
+      void* p = st.free_blocks.back();
+      st.free_blocks.pop_back();
+      ++st.reuses;
+      return static_cast<T*>(p);
+    }
+    ++st.heap_allocs;
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(
+          ::operator new(bytes, std::align_val_t(alignof(T))));
+    } else {
+      return static_cast<T*>(::operator new(bytes));
+    }
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+    ArenaBlocks& st = *state_;
+    if constexpr (alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      if (bytes == st.block_size &&
+          st.free_blocks.size() < st.max_cached) {
+        try {
+          st.free_blocks.push_back(p);
+          return;
+        } catch (...) {
+          // fall through: the free list could not grow
+        }
+      }
+      ::operator delete(p);
+    } else {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    }
+  }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return state_ == o.state_;
+  }
+
+  std::shared_ptr<ArenaBlocks> state_;
+};
+
+}  // namespace dkf::mpi::detail

@@ -17,7 +17,8 @@ Proc::Proc(Runtime& rt, int rank, gpu::Gpu& gpu)
       gpu_(&gpu),
       cpu_(std::make_unique<sim::CpuTimeline>(rt.engine())),
       layout_cache_(rt.config().layout_cache),
-      plan_cache_(rt.config().plan_cache) {
+      plan_cache_(rt.config().plan_cache),
+      request_arena_(std::make_shared<detail::ArenaBlocks>()) {
   core::FusionPolicy tuned;
   const RuntimeConfig& cfg = rt.config();
   if (cfg.tuned_threshold > 0) tuned.threshold_bytes = cfg.tuned_threshold;
@@ -38,6 +39,10 @@ int Proc::worldSize() const { return rt_->worldSize(); }
 sim::Engine& Proc::engine() { return rt_->engine(); }
 
 const RuntimeConfig& Proc::config() const { return rt_->config(); }
+
+net::PayloadPool& Proc::payloadPool() {
+  return rt_->cluster().fabric().payloadPool();
+}
 
 int Proc::allocCollectiveTags(int span) {
   DKF_CHECK(span > 0);
@@ -132,7 +137,8 @@ RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
                              const ddt::DatatypePtr& type, std::size_t count,
                              int peer, int tag) {
   auto layout = layout_cache_.get(type, count);
-  auto req = std::make_shared<Request>();
+  auto req = std::allocate_shared<Request>(
+      detail::ArenaAllocator<Request>(request_arena_));
   req->kind = kind;
   req->owner_rank = rank_;
   req->peer = peer;
@@ -149,7 +155,7 @@ RequestPtr Proc::makeRequest(Request::Kind kind, gpu::MemSpan buf,
 void Proc::resetActivationState(Request& req) {
   req.staging = {};
   req.staging_owned = false;
-  req.eager_data.clear();
+  req.eager_data.reset();
   req.seq = 0;
   req.seq_assigned = false;  // a restart is a new message -> new seq
   req.retrans_deadline = 0;
@@ -159,7 +165,9 @@ void Proc::resetActivationState(Request& req) {
   req.rndv_recv.reset();
   req.rget_sender.reset();
   req.delivery_span = {};
-  req.host_staging.clear();
+  req.host_staging.reset();
+  req.wire_payload.reset();
+  req.payload_captured = false;
   req.ticket = {};
   req.ticket_pending = false;
   req.pack_done = false;
@@ -237,7 +245,7 @@ sim::Task<void> Proc::activateSend(RequestPtr req) {
 sim::Task<void> Proc::activateRecv(RequestPtr req) {
   registerActive(req);
   // Unexpected-message queues first (arrival order preserved).
-  std::vector<std::byte> data;
+  net::PayloadRef data;
   if (unexpected_eager_.take(req->peer, req->tag, data)) {
     startEagerDelivery(req, std::move(data));
     co_return;
@@ -389,10 +397,11 @@ gpu::MemSpan Proc::allocStaging(Request& req, std::size_t bytes) {
   }
   // Device arena refused (exhausted or injected failure): degrade to host
   // staging. Unpack still works — the DDT engines accept host spans — it
-  // just loses the GPU-resident fast path.
+  // just loses the GPU-resident fast path. allocate() is always
+  // slab-backed, so the span's address is stable for the ref's lifetime.
   ++transport_.host_staging_fallbacks;
-  req.host_staging.assign(bytes, std::byte{0});
-  req.staging = gpu::MemSpan::host(req.host_staging);
+  req.host_staging = payloadPool().allocate(bytes);
+  req.staging = gpu::MemSpan::host(req.host_staging.span());
   req.staging_owned = false;
   return req.staging;
 }
@@ -403,15 +412,29 @@ void Proc::sendEagerOnWire(const RequestPtr& req) {
   const int dst_rank = req->peer;
   const int tag = req->tag;
   const std::uint64_t seq = req->seq;
-  rt->cluster().fabric().sendMessage(
+  // Capture the payload exactly once, on the first wire departure. A
+  // retransmission re-enters here and bumps the original capture's
+  // refcount instead of re-snapshotting the staging buffer, so every
+  // attempt carries byte-identical data.
+  if (!req->payload_captured) {
+    req->wire_payload = payloadPool().capture(
+        {req->staging.bytes.data(), req->staging.size()});
+    req->payload_captured = true;
+  }
+  rt->cluster().fabric().sendPayload(
       rt->nodeOfRank(src_rank), rt->nodeOfRank(dst_rank), req->staging,
-      [rt, src_rank, dst_rank, tag, seq, req](std::vector<std::byte> data) {
+      req->wire_payload,  // lvalue: the send copies (ref bump), req keeps one
+      [rt, src_rank, dst_rank, tag, seq, req](net::PayloadRef data) {
         // The payload has drained off the wire: the sender's admission
         // token frees even though the send itself completed at issue.
         rt->proc(src_rank).releaseSendToken(*req);
         rt->proc(dst_rank).onEager(src_rank, tag, seq, req, std::move(data));
       },
       req->tenant);
+  if (!reliabilityOn()) {
+    // No ACK is coming; the wire closure holds the only ref still needed.
+    req->wire_payload.reset();
+  }
 }
 
 void Proc::sendRtsOnWire(const RequestPtr& req) {
@@ -434,8 +457,8 @@ void Proc::issueEagerData(const RequestPtr& req) {
   sendEagerOnWire(req);
   req->data_in_flight = true;
   if (reliabilityOn()) {
-    // Completion is deferred to the ACK; the staging must survive so a
-    // retransmission can re-snapshot the payload.
+    // Completion is deferred to the ACK; the wire capture (wire_payload)
+    // survives so a retransmission is a ref bump, not a re-snapshot.
     armRetrans(req);
     return;
   }
@@ -459,7 +482,7 @@ void Proc::issueRts(const RequestPtr& req) {
 }
 
 void Proc::onEager(int src_rank, int msg_tag, std::uint64_t seq,
-                   RequestPtr sender_req, std::vector<std::byte> data) {
+                   RequestPtr sender_req, net::PayloadRef data) {
   if (reliabilityOn()) {
     // Always ACK, even duplicates: the sender retransmitting means our
     // previous ACK was lost (or still in flight), and dup ACKs are ignored.
@@ -494,12 +517,13 @@ void Proc::onEagerAck(RequestPtr sender_req) {
     freeDevice(sender_req->staging);
     sender_req->staging_owned = false;
   }
+  sender_req->wire_payload.reset();  // no further retransmissions
   sender_req->retrans_deadline = 0;
   releaseSendToken(*sender_req);
   noteComplete(*sender_req);
 }
 
-void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
+void Proc::startEagerDelivery(RequestPtr recv, net::PayloadRef data) {
   DKF_CHECK_MSG(data.size() <= recv->data_bytes,
                 "eager message longer than the posted receive ("
                     << data.size() << " > " << recv->data_bytes << ")");
@@ -508,11 +532,13 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
     noteComplete(*recv);
     return;
   }
-  // Park the payload in the request and unpack through the DDT engine.
+  // Park the payload ref in the request and unpack through the DDT engine
+  // straight out of the shared slab (read-only; the sender may hold a
+  // retransmission ref to the same bytes).
   recv->eager_data = std::move(data);
   Proc* self = this;
   engine().spawn([](Proc& p, RequestPtr r) -> sim::Task<void> {
-    const gpu::MemSpan packed = gpu::MemSpan::host(r->eager_data);
+    const gpu::MemSpan packed = gpu::MemSpan::host(r->eager_data.span());
     const auto plan = p.planFor(core::FusionOp::Unpacking, r->layout,
                                 nullptr, r->tenant);
     p.engine_->setActiveTenant(r->tenant);
@@ -522,7 +548,7 @@ void Proc::startEagerDelivery(RequestPtr recv, std::vector<std::byte> data) {
     r->ticket_pending = true;
     if (p.engine_->done(r->ticket)) {
       r->ticket_pending = false;
-      r->eager_data.clear();
+      r->eager_data.reset();
       p.noteComplete(*r);
     } else {
       p.markTimed(r);  // poll the unpack ticket every pass
@@ -759,8 +785,8 @@ void Proc::releaseRecvStaging(Request& r) {
     freeDevice(r.staging);
     r.staging_owned = false;
   }
-  r.eager_data.clear();
-  r.host_staging.clear();
+  r.eager_data.reset();
+  r.host_staging.reset();
   r.delivery_span = {};
 }
 
@@ -1104,6 +1130,19 @@ void Runtime::runAll(const std::function<sim::Task<void>(Proc&)>& body) {
     engine().spawn(body(*p));
   }
   engine().run();
+  // Payload-plane leak check: the engine has drained, so every delivery
+  // closure has run and released its ref. Unless a payload is legitimately
+  // parked awaiting a match (a send the application never received) or a
+  // reliable send is still waiting for its ACK on an incomplete request,
+  // a live pool buffer here means a dropped-on-the-floor PayloadRef.
+  std::size_t parked = 0;
+  for (auto& p : procs_) {
+    parked += p->unexpected_eager_.size();
+    parked += static_cast<std::size_t>(
+        std::count_if(p->active_.begin(), p->active_.end(),
+                      [](const RequestPtr& r) { return !r->complete; }));
+  }
+  if (parked == 0) cluster_->fabric().payloadPool().checkQuiescent();
 }
 
 TimeBreakdown Runtime::aggregateBreakdown() const {

@@ -27,9 +27,11 @@
 #include "ddt/layout.hpp"
 #include "hw/cluster.hpp"
 #include "net/fabric.hpp"
+#include "net/payload.hpp"
 #include "mpi/match_table.hpp"
 #include "mpi/msg_plane.hpp"
 #include "mpi/request.hpp"
+#include "mpi/request_arena.hpp"
 #include "schemes/factory.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
@@ -233,6 +235,10 @@ class Proc {
   /// when pre-compiling their per-hop fusion plans).
   const RuntimeConfig& config() const;
 
+  /// The fabric's slab pool: every captured payload, staging fallback and
+  /// collective chunk staging draws from it (net/payload.hpp).
+  net::PayloadPool& payloadPool();
+
   /// Reserve `span` consecutive tags for one collective invocation and
   /// return the first. The counter is per-rank but stays synchronized
   /// across the world because collectives are invoked in the same order on
@@ -247,7 +253,7 @@ class Proc {
 
   // Inbound protocol events (called at fabric delivery time).
   void onEager(int src_rank, int msg_tag, std::uint64_t seq,
-               RequestPtr sender_req, std::vector<std::byte> data);
+               RequestPtr sender_req, net::PayloadRef data);
   void onEagerAck(RequestPtr sender_req);
   void onRts(RequestPtr sender_req);
   void onCts(RequestPtr sender_req, gpu::MemSpan recv_staging);
@@ -257,7 +263,7 @@ class Proc {
   RequestPtr matchPosted(int src_rank, int msg_tag);
 
   /// Hand a matched eager payload / RTS to the receive request.
-  void startEagerDelivery(RequestPtr recv, std::vector<std::byte> data);
+  void startEagerDelivery(RequestPtr recv, net::PayloadRef data);
   void startRendezvousDelivery(RequestPtr recv, RequestPtr sender_req);
 
   /// Packed data has landed in the receive staging — unpack (or finish).
@@ -372,8 +378,9 @@ class Proc {
   std::uint64_t next_progress_order_{0};
   std::size_t sweep_watermark_{64};      // amortized active_ sweep trigger
   MatchTable posted_recvs_;                 // unmatched posted receives
-  /// Eager payloads that arrived before their receive was posted.
-  ArrivalQueue<std::vector<std::byte>> unexpected_eager_;
+  /// Eager payloads that arrived before their receive was posted (refs
+  /// into the payload pool — parking is free).
+  ArrivalQueue<net::PayloadRef> unexpected_eager_;
   std::deque<RequestPtr> unexpected_rts_;   // sender reqs awaiting a match
 
   // Next unissued collective tag (see allocCollectiveTags).
@@ -382,6 +389,11 @@ class Proc {
   // Multi-tenant serving plane.
   TenantId current_tenant_{kDefaultTenant};
   std::vector<TenantStats> tenant_stats_;
+
+  // Request control blocks recycle through a per-rank arena
+  // (mpi/request_arena.hpp): shared_ptr-owned because control blocks
+  // embed the allocator and may outlive the Proc via weak refs.
+  std::shared_ptr<detail::ArenaBlocks> request_arena_;
 
   // Reliable-transport state.
   TransportCounters transport_;

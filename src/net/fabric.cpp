@@ -226,10 +226,24 @@ TimeNs Fabric::sendControl(int src_node, int dst_node,
 TimeNs Fabric::sendMessage(
     int src_node, int dst_node, gpu::MemSpan payload,
     Fabric::MessageCallback on_delivered, TenantId tenant) {
+  // Single-shot capture into the pool (one memcpy, recycled storage) —
+  // the seed's reserve+insert vector snapshot, minus the allocator.
+  return sendPayload(src_node, dst_node, payload,
+                     pool_.capture({payload.bytes.data(), payload.size()}),
+                     std::move(on_delivered), tenant);
+}
+
+TimeNs Fabric::sendPayload(int src_node, int dst_node, gpu::MemSpan payload_src,
+                           PayloadRef payload,
+                           Fabric::MessageCallback on_delivered,
+                           TenantId tenant) {
+  DKF_CHECK_MSG(payload.size() == payload_src.size(),
+                "captured payload does not match its source span: "
+                    << payload.size() << " != " << payload_src.size());
   Link& link = linkBetween(src_node, dst_node);
   const double cap = src_node == dst_node
                          ? 0.0
-                         : directCap(payload, gpu::MemSpan{});
+                         : directCap(payload_src, gpu::MemSpan{});
   bool down = false;
   const double eff_cap = degradedCap(cap, link, down);
   const TimeNs delivery = reserveWire(
@@ -239,19 +253,19 @@ TimeNs Fabric::sendMessage(
                 delivery);
   if (down || (faults_ && faults_->dropData())) {
     traceDrop(src_node, dst_node, "eager");
-    return delivery;
+    return delivery;  // wire time was spent; the ref drops here
   }
-  // Snapshot once (exact reserve, one memcpy-sized append) and *move* the
-  // buffer through the delivery closure and into the receiver's handler —
-  // the payload bytes are copied exactly once on this path.
-  std::vector<std::byte> snapshot;
-  snapshot.reserve(payload.size());
-  snapshot.insert(snapshot.end(), payload.bytes.begin(), payload.bytes.end());
+  // The ref moves through the delivery closure into the receiver's handler:
+  // zero copies past the capture, and a retransmission's closure shares the
+  // same slab.
+  auto closure = [data = std::move(payload),
+                  cb = std::move(on_delivered)]() mutable {
+    if (cb) cb(std::move(data));
+  };
+  static_assert(sizeof(closure) <= sim::kEventCallbackBytes,
+                "payload delivery closure must fit an engine event slot");
   deliver(src_node, dst_node, delivery, tenant, payload.size(),
-          [data = std::move(snapshot),
-           cb = std::move(on_delivered)]() mutable {
-            if (cb) cb(std::move(data));
-          });
+          std::move(closure));
   return delivery;
 }
 

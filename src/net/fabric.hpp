@@ -22,6 +22,7 @@
 #include "net/arbiter.hpp"
 #include "net/link.hpp"
 #include "net/link_batcher.hpp"
+#include "net/payload.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -45,8 +46,11 @@ class Fabric {
   /// whole delivery closure allocation-free (sim/callback.hpp).
   using Callback = sim::SmallCallback;
   using Predicate = sim::SmallPredicate;
+  /// Receivers take the payload as a pool-backed ref (net/payload.hpp):
+  /// the delivery closure, any parked batcher entry and the receiver's
+  /// handler all share the sender's single capture.
   using MessageCallback =
-      sim::InlineFunction<void(std::vector<std::byte>), sim::kSmallCallbackBytes>;
+      sim::InlineFunction<void(PayloadRef), sim::kSmallCallbackBytes>;
 
   Fabric(sim::Engine& eng, const hw::MachineSpec& machine, std::size_t nodes);
 
@@ -64,12 +68,26 @@ class Fabric {
 
   /// Two-sided message with *sender-side capture*: the payload is
   /// snapshotted at call time (MPI eager semantics — the sender may reuse
-  /// its buffer immediately) and handed to the receiver as an owned vector
-  /// at delivery. Used for eager-protocol data whose destination buffer is
-  /// not known until matching happens at the receiver.
+  /// its buffer immediately) into the payload pool and handed to the
+  /// receiver as a ref at delivery. Used for eager-protocol data whose
+  /// destination buffer is not known until matching happens at the
+  /// receiver.
   TimeNs sendMessage(int src_node, int dst_node, gpu::MemSpan payload,
                      MessageCallback on_delivered,
                      TenantId tenant = kDefaultTenant);
+
+  /// Two-sided message whose payload was already captured into the pool:
+  /// the ref rides the wire (a bump, not a copy), so a reliable
+  /// transport's retransmission reuses the original capture byte-for-byte.
+  /// `payload_src` is the span the bytes came from — it carries the memory
+  /// space for the GPUDirect bandwidth cap, exactly as sendMessage saw it.
+  TimeNs sendPayload(int src_node, int dst_node, gpu::MemSpan payload_src,
+                     PayloadRef payload, MessageCallback on_delivered,
+                     TenantId tenant = kDefaultTenant);
+
+  /// The slab pool behind every captured payload (staging buffers and
+  /// collective chunk staging draw from it too).
+  PayloadPool& payloadPool() { return pool_; }
 
   /// One-sided RDMA READ issued by `reader_node` against `target_node`:
   /// a request propagates to the target, then data streams back. The copy
@@ -164,6 +182,9 @@ class Fabric {
   bool batching_{true};
   DurationNs batch_window_{ns(0)};
   ContentionConfig contention_{};
+  // Declared before links_/batchers_: parked batcher deliveries hold
+  // payload refs, so the pool must be destroyed after them.
+  PayloadPool pool_;
   // links_[src * nodes_ + dst]; diagonal entries are the intra-node path.
   std::vector<std::unique_ptr<Link>> links_;
   // One batcher per materialized channel, same indexing.

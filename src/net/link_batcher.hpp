@@ -41,9 +41,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "common/tenant.hpp"
 #include "common/units.hpp"
 #include "net/arbiter.hpp"
@@ -113,19 +113,8 @@ class LinkBatcher {
     Callback cb;
   };
   struct TenantQueue {
-    std::deque<DrrEntry> q;
+    RingQueue<DrrEntry> q;
     double deficit{0.0};
-
-    TenantQueue() = default;
-    // libstdc++'s deque move ctor lacks noexcept; without this
-    // vector::resize would move_if_noexcept -> copy the move-only entries.
-    TenantQueue(TenantQueue&& o) noexcept
-        : q(std::move(o.q)), deficit(o.deficit) {}
-    TenantQueue& operator=(TenantQueue&& o) noexcept {
-      q = std::move(o.q);
-      deficit = o.deficit;
-      return *this;
-    }
   };
 
   // ---- FIFO policy (the seed path, byte-identical) ----
@@ -147,7 +136,7 @@ class LinkBatcher {
 
   sim::Engine* eng_;
   DurationNs window_;
-  std::deque<Entry> fifo_;
+  RingQueue<Entry> fifo_;
   bool armed_{false};
   bool firing_{false};
 

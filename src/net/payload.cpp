@@ -1,0 +1,151 @@
+#include "net/payload.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace dkf::net {
+
+PayloadPool::PayloadPool(PayloadPoolConfig cfg) : cfg_(cfg) {}
+
+PayloadPool::~PayloadPool() {
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    detail::SlabHeader* h = free_[cls];
+    free_[cls] = nullptr;
+    while (h != nullptr) {
+      detail::SlabHeader* next = h->next;
+      ::operator delete(h);
+      h = next;
+    }
+  }
+  // Orphan still-checked-out slabs: a ref held by an engine event slot (the
+  // engine outlives the fabric) releases into plain delete once it runs.
+  for (detail::SlabHeader* h = live_head_; h != nullptr;) {
+    detail::SlabHeader* next = h->next;
+    h->pool = nullptr;
+    h->prev = nullptr;
+    h->next = nullptr;
+    h = next;
+  }
+  live_head_ = nullptr;
+}
+
+void PayloadPool::checkQuiescent() const {
+  DKF_CHECK_MSG(live_buffers_ == 0,
+                "payload pool not quiescent: " << live_buffers_
+                    << " live buffer(s) (" << live_bytes_
+                    << " bytes) still hold refs");
+}
+
+std::uint32_t PayloadPool::classOf(std::size_t bytes) {
+  std::size_t cap = kMinSlabBytes;
+  for (std::uint32_t cls = 0; cls < kClasses; ++cls, cap <<= 1) {
+    if (bytes <= cap) return cls;
+  }
+  return kOversizeClass;
+}
+
+detail::SlabHeader* PayloadPool::acquire(std::size_t bytes) {
+  const std::uint32_t cls = classOf(bytes);
+  detail::SlabHeader* h;
+  if (cls != kOversizeClass && free_[cls] != nullptr) {
+    h = free_[cls];
+    free_[cls] = h->next;
+    cached_bytes_ -= h->capacity;
+    ++counters_.slab_reuses;
+  } else {
+    const std::size_t cap = cls != kOversizeClass ? classBytes(cls) : bytes;
+    void* raw = ::operator new(sizeof(detail::SlabHeader) + cap);
+    h = new (raw) detail::SlabHeader{};
+    h->capacity = cap;
+    if (cls == kOversizeClass) {
+      ++counters_.oversize_allocs;
+    } else {
+      ++counters_.slab_allocs;
+    }
+  }
+  h->pool = this;
+  h->refs = 1;
+  h->size_class = cls;
+  h->prev = nullptr;
+  h->next = live_head_;
+  if (live_head_ != nullptr) live_head_->prev = h;
+  live_head_ = h;
+  ++live_buffers_;
+  live_bytes_ += h->capacity;
+  peak_live_buffers_ = std::max(peak_live_buffers_, live_buffers_);
+  peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+  return h;
+}
+
+void PayloadPool::recycle(detail::SlabHeader* h) noexcept {
+  // Unlink from the live list.
+  if (h->prev != nullptr) {
+    h->prev->next = h->next;
+  } else {
+    live_head_ = h->next;
+  }
+  if (h->next != nullptr) h->next->prev = h->prev;
+  --live_buffers_;
+  live_bytes_ -= h->capacity;
+
+  const bool cacheable =
+      h->size_class != kOversizeClass &&
+      cached_bytes_ + h->capacity <= cfg_.max_cached_bytes;
+  if (!cacheable) {
+    if (h->size_class != kOversizeClass) ++counters_.trims;
+    ::operator delete(h);
+    return;
+  }
+  h->prev = nullptr;
+  h->next = free_[h->size_class];
+  free_[h->size_class] = h;
+  cached_bytes_ += h->capacity;
+}
+
+void PayloadPool::release(detail::SlabHeader* h) noexcept {
+  if (--h->refs != 0) return;
+  if (h->pool != nullptr) {
+    h->pool->recycle(h);
+  } else {
+    ::operator delete(h);  // the pool died first; the slab was orphaned
+  }
+}
+
+PayloadRef PayloadPool::capture(std::span<const std::byte> bytes) {
+  ++counters_.captures;
+  PayloadRef r;
+  r.size_ = static_cast<std::uint32_t>(bytes.size());
+  DKF_CHECK_MSG(r.size_ == bytes.size(),
+                "payload too large for the pool: " << bytes.size());
+  if (bytes.size() <= kInlinePayloadBytes) {
+    ++counters_.inline_captures;
+    if (!bytes.empty()) std::memcpy(r.inline_, bytes.data(), bytes.size());
+    return r;
+  }
+  r.slab_ = acquire(bytes.size());
+  std::memcpy(r.slab_->data(), bytes.data(), bytes.size());
+  return r;
+}
+
+PayloadRef PayloadPool::allocate(std::size_t bytes) {
+  ++counters_.captures;
+  PayloadRef r;
+  r.size_ = static_cast<std::uint32_t>(bytes);
+  DKF_CHECK_MSG(r.size_ == bytes, "payload too large for the pool: " << bytes);
+  r.slab_ = acquire(bytes);
+  std::memset(r.slab_->data(), 0, bytes);
+  return r;
+}
+
+double PayloadPool::hitRate() const noexcept {
+  const std::size_t checkouts = counters_.slab_reuses + counters_.slab_allocs +
+                                counters_.oversize_allocs;
+  if (checkouts == 0) return 1.0;
+  return static_cast<double>(counters_.slab_reuses) /
+         static_cast<double>(checkouts);
+}
+
+}  // namespace dkf::net

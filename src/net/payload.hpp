@@ -1,0 +1,250 @@
+// Zero-copy payload plane: refcounted slab buffers for the message hot
+// path (MODEL.md §15).
+//
+// Every payload that crossed the fabric used to be snapshotted into a
+// fresh std::vector<std::byte> — one heap allocation per message, and
+// another per retransmission. PayloadRef/PayloadPool replace that with:
+//
+//   * inline storage for small payloads (<= kInlinePayloadBytes): the
+//     bytes live inside the handle itself, copies are memcpys, no heap;
+//   * slab storage for everything else: a pool-owned block with an
+//     intrusive refcount, so handing a payload to the delivery closure,
+//     the receiver, or a retransmission is a ref bump, never a copy;
+//   * power-of-two size-class free lists in the pool (intrusive, through
+//     the slab headers), so steady-state traffic recycles slabs instead
+//     of touching the allocator at all.
+//
+// The pool only changes *when memory is allocated*, never what bytes move
+// when — wire timing and event order are untouched, which the conformance
+// and shadow suites enforce.
+//
+// Ownership rules (who may hold a ref across virtual time) are documented
+// in MODEL.md §15. The pool is engine-adjacent state: single-threaded,
+// like the engine that drives it — parallel sweeps give every cell its own
+// cluster and therefore its own pool.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace dkf::net {
+
+class PayloadPool;
+
+/// Payloads at or under this size live inside the PayloadRef itself: no
+/// slab, no refcount, copies are 64-byte memcpys. Sized to cover protocol
+/// control payloads and the small tail of eager traffic while keeping
+/// sizeof(PayloadRef) small enough that delivery closures still fit the
+/// engine's inline event slots (fabric.cpp static_asserts the budget).
+inline constexpr std::size_t kInlinePayloadBytes = 64;
+
+namespace detail {
+
+/// Header of one pool slab; the payload bytes follow in the same block.
+/// `next`/`prev` double as the live-list links while checked out and as
+/// the free-list link while cached.
+struct alignas(alignof(std::max_align_t)) SlabHeader {
+  PayloadPool* pool;         ///< nullptr once the owning pool died (orphan)
+  SlabHeader* prev;
+  SlabHeader* next;
+  std::size_t capacity;      ///< usable payload bytes in this block
+  std::uint32_t refs;
+  std::uint32_t size_class;  ///< kOversizeClass for direct allocations
+
+  std::byte* data() { return reinterpret_cast<std::byte*>(this + 1); }
+};
+static_assert(sizeof(SlabHeader) % alignof(std::max_align_t) == 0,
+              "slab payload bytes must start max-aligned");
+
+}  // namespace detail
+
+/// Shared handle to one captured payload. Cheap to copy (ref bump or an
+/// inline memcpy), nothrow-movable (so it stays inside the engine's inline
+/// callback storage), releases its slab back to the pool when the last ref
+/// dies. Slab-backed copies alias one buffer — captured payloads are
+/// treated as immutable once on the wire; only allocate()d staging buffers
+/// (single-ref by construction) are written through the handle.
+class PayloadRef {
+ public:
+  PayloadRef() noexcept = default;
+
+  PayloadRef(const PayloadRef& o) noexcept : slab_(o.slab_), size_(o.size_) {
+    if (slab_ != nullptr) {
+      ++slab_->refs;
+    } else if (size_ > 0) {
+      std::memcpy(inline_, o.inline_, size_);
+    }
+  }
+
+  PayloadRef(PayloadRef&& o) noexcept : slab_(o.slab_), size_(o.size_) {
+    if (slab_ == nullptr && size_ > 0) std::memcpy(inline_, o.inline_, size_);
+    o.slab_ = nullptr;
+    o.size_ = 0;
+  }
+
+  PayloadRef& operator=(const PayloadRef& o) noexcept {
+    if (this == &o) return *this;
+    detail::SlabHeader* s = o.slab_;  // bump first: o may share our slab
+    if (s != nullptr) ++s->refs;
+    reset();
+    slab_ = s;
+    size_ = o.size_;
+    if (s == nullptr && size_ > 0) std::memcpy(inline_, o.inline_, size_);
+    return *this;
+  }
+
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    if (this == &o) return *this;
+    reset();
+    slab_ = o.slab_;
+    size_ = o.size_;
+    if (slab_ == nullptr && size_ > 0) {
+      std::memcpy(inline_, o.inline_, size_);
+    }
+    o.slab_ = nullptr;
+    o.size_ = 0;
+    return *this;
+  }
+
+  ~PayloadRef() { reset(); }
+
+  /// Drop this handle's claim (slab refs recycle at zero).
+  void reset() noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// True while the bytes live inside this handle (no slab behind it).
+  bool isInline() const noexcept { return slab_ == nullptr; }
+  /// Current reference count: 1 for non-empty inline handles, 0 when empty.
+  std::uint32_t refCount() const noexcept {
+    if (slab_ != nullptr) return slab_->refs;
+    return size_ > 0 ? 1u : 0u;
+  }
+
+  std::byte* data() noexcept {
+    return slab_ != nullptr ? slab_->data() : inline_;
+  }
+  const std::byte* data() const noexcept {
+    return slab_ != nullptr ? slab_->data() : inline_;
+  }
+  std::span<std::byte> span() noexcept { return {data(), size_}; }
+  std::span<const std::byte> span() const noexcept {
+    return {data(), size_};
+  }
+
+ private:
+  friend class PayloadPool;
+
+  detail::SlabHeader* slab_{nullptr};
+  std::uint32_t size_{0};
+  std::byte inline_[kInlinePayloadBytes];
+};
+
+static_assert(std::is_nothrow_move_constructible_v<PayloadRef>,
+              "PayloadRef must stay inline-eligible for callback slots");
+
+/// Lifetime counters (bench JSON, tests). `captures` counts every
+/// capture()/allocate(); a slab checkout is served either from a free list
+/// (`slab_reuses`) or the allocator (`slab_allocs`/`oversize_allocs`).
+struct PayloadPoolCounters {
+  std::size_t captures{0};
+  std::size_t inline_captures{0};
+  std::size_t slab_reuses{0};
+  std::size_t slab_allocs{0};
+  std::size_t oversize_allocs{0};
+  std::size_t trims{0};  ///< releases freed outright by the cache budget
+};
+
+struct PayloadPoolConfig {
+  /// Free-list byte budget: slabs released beyond it are freed, not
+  /// cached. Generous default — the pool's steady state is the in-flight
+  /// window of one engine's traffic.
+  std::size_t max_cached_bytes{64u << 20};
+};
+
+/// Engine-owned slab allocator behind every fabric payload. Single
+/// threaded (one pool per fabric per engine). Destruction orphans any
+/// still-checked-out slab — a ref parked in an engine event slot that
+/// outlives the fabric releases safely into ::operator delete. Leak
+/// detection is explicit instead (checkQuiescent — a throwing destructor
+/// would poison every type that embeds a Fabric): Runtime::runAll calls it
+/// once the engine has drained and nothing is legitimately parked.
+class PayloadPool {
+ public:
+  explicit PayloadPool(PayloadPoolConfig cfg = {});
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+  ~PayloadPool();
+
+  /// Snapshot `bytes` into an owned payload — the single-shot replacement
+  /// for the reserve+insert vector idiom (exactly one memcpy, pooled
+  /// storage, inline when small).
+  PayloadRef capture(std::span<const std::byte> bytes);
+
+  /// Zero-filled owned buffer of `bytes`, always slab-backed so the block
+  /// address is stable across handle moves (host-staging MemSpans point
+  /// into it).
+  PayloadRef allocate(std::size_t bytes);
+
+  // ---- occupancy / steady-state telemetry ----
+  std::size_t liveBuffers() const noexcept { return live_buffers_; }
+  std::size_t liveBytes() const noexcept { return live_bytes_; }
+  std::size_t peakLiveBuffers() const noexcept { return peak_live_buffers_; }
+  std::size_t peakLiveBytes() const noexcept { return peak_live_bytes_; }
+  std::size_t cachedBytes() const noexcept { return cached_bytes_; }
+  const PayloadPoolCounters& counters() const noexcept { return counters_; }
+  /// Fraction of slab checkouts served without touching the allocator.
+  double hitRate() const noexcept;
+
+  /// Leak check: DKF_CHECK-fails if any buffer is still checked out.
+  /// Only meaningful at a quiescent point — engine drained, no payloads
+  /// parked awaiting a match (Runtime::runAll verifies both).
+  void checkQuiescent() const;
+
+ private:
+  friend class PayloadRef;
+
+  // Size classes are powers of two from kMinSlabBytes up; anything larger
+  // allocates exactly and is never cached.
+  static constexpr std::size_t kMinSlabBytes = 128;
+  static constexpr std::size_t kClasses = 14;  // 128 B .. 1 MiB
+  static constexpr std::uint32_t kOversizeClass = 0xffffffffu;
+
+  static std::size_t classBytes(std::uint32_t cls) {
+    return kMinSlabBytes << cls;
+  }
+  static std::uint32_t classOf(std::size_t bytes);
+
+  /// Last ref died: recycle (or free) the slab. Static because the pool
+  /// pointer lives in the header — and may be null (orphaned slab).
+  static void release(detail::SlabHeader* h) noexcept;
+
+  detail::SlabHeader* acquire(std::size_t bytes);
+  void recycle(detail::SlabHeader* h) noexcept;
+
+  PayloadPoolConfig cfg_;
+  PayloadPoolCounters counters_;
+
+  std::array<detail::SlabHeader*, kClasses> free_{};  // intrusive LIFO
+  detail::SlabHeader* live_head_{nullptr};
+
+  std::size_t live_buffers_{0};
+  std::size_t live_bytes_{0};
+  std::size_t peak_live_buffers_{0};
+  std::size_t peak_live_bytes_{0};
+  std::size_t cached_bytes_{0};
+};
+
+inline void PayloadRef::reset() noexcept {
+  if (slab_ != nullptr) {
+    PayloadPool::release(slab_);
+    slab_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace dkf::net

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace dkf::sim {
 
@@ -62,6 +63,15 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  // Frames recycle through per-thread free lists (sim/frame_pool.hpp):
+  // the hot paths spawn one coroutine per message plus several per wait
+  // poll, and with payloads and requests pooled these were the last
+  // steady-state allocations.
+  static void* operator new(std::size_t n) { return frameAlloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    frameFree(p, n);
+  }
 };
 
 }  // namespace detail
