@@ -46,12 +46,17 @@ class ArenaAllocator {
   T* allocate(std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
     ArenaBlocks& st = *state_;
-    if (st.block_size == 0) st.block_size = bytes;
-    if (bytes == st.block_size && !st.free_blocks.empty()) {
-      void* p = st.free_blocks.back();
-      st.free_blocks.pop_back();
-      ++st.reuses;
-      return static_cast<T*>(p);
+    // Free-listed blocks came from default-aligned operator new (the
+    // deallocate path only caches those), so an over-aligned T must never
+    // be served from the list even when the byte size matches.
+    if constexpr (alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      if (st.block_size == 0) st.block_size = bytes;
+      if (bytes == st.block_size && !st.free_blocks.empty()) {
+        void* p = st.free_blocks.back();
+        st.free_blocks.pop_back();
+        ++st.reuses;
+        return static_cast<T*>(p);
+      }
     }
     ++st.heap_allocs;
     if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {

@@ -257,15 +257,16 @@ TimeNs Fabric::sendPayload(int src_node, int dst_node, gpu::MemSpan payload_src,
   }
   // The ref moves through the delivery closure into the receiver's handler:
   // zero copies past the capture, and a retransmission's closure shares the
-  // same slab.
+  // same slab. Read the byte count before the move — PayloadRef's move ctor
+  // zeroes the source, and deliver()'s bytes drive DRR deficit accounting.
+  const std::size_t bytes = payload.size();
   auto closure = [data = std::move(payload),
                   cb = std::move(on_delivered)]() mutable {
     if (cb) cb(std::move(data));
   };
   static_assert(sizeof(closure) <= sim::kEventCallbackBytes,
                 "payload delivery closure must fit an engine event slot");
-  deliver(src_node, dst_node, delivery, tenant, payload.size(),
-          std::move(closure));
+  deliver(src_node, dst_node, delivery, tenant, bytes, std::move(closure));
   return delivery;
 }
 

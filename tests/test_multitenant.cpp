@@ -24,10 +24,12 @@
 #include "core/request_list.hpp"
 #include "ddt/datatype.hpp"
 #include "fault/fault_plan.hpp"
+#include "gpu/memory.hpp"
 #include "hw/cluster.hpp"
 #include "hw/machines.hpp"
 #include "mpi/runtime.hpp"
 #include "net/arbiter.hpp"
+#include "net/fabric.hpp"
 #include "net/link.hpp"
 #include "net/link_batcher.hpp"
 #include "sim/engine.hpp"
@@ -142,6 +144,48 @@ TEST(MultiTenantBatcher, TenantDeliveryCountersTrackServes) {
   EXPECT_EQ(b.tenantDeliveries()[1], 0u);
   EXPECT_EQ(b.tenantDeliveries()[2], 3u);
   EXPECT_EQ(b.deliveries(), 7u);
+}
+
+// Regression: sendPayload once read payload.size() *after* moving the ref
+// into the delivery closure — PayloadRef's move ctor zeroes the source, so
+// every eager message parked in the DRR batcher with bytes=0 and drained
+// for free, disabling deficit accounting. FIFO ignores bytes (which is why
+// the conformance suites stayed green), so this pins the eager path through
+// a DRR fabric: with quantum == message size, equal weights, and a window
+// wide enough to make every delivery ripe in a single fire, correct byte
+// accounting serves exactly one message per tenant per rotation — each
+// consecutive pair of deliveries holds one message from each tenant.
+// Zero-byte entries would drain all of tenant 0 before tenant 1's first.
+TEST(MultiTenantFabric, EagerPayloadBytesDriveDrrDeficit) {
+  sim::Engine eng;
+  const hw::MachineSpec machine = hw::lassen();
+  net::Fabric fabric(eng, machine, 2);
+  constexpr std::size_t kMsgBytes = 4096;
+  net::ContentionConfig cfg;
+  cfg.enabled = true;
+  cfg.quantum_bytes = kMsgBytes;
+  fabric.setContention(cfg);
+  fabric.setBatchWindow(ms(10));
+  std::vector<std::byte> payload(kMsgBytes, std::byte{0x5A});
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    for (const TenantId t : {TenantId{0}, TenantId{1}}) {
+      fabric.sendMessage(
+          0, 1, gpu::MemSpan::host(payload),
+          [&order, t](net::PayloadRef) { order.push_back(static_cast<int>(t)); },
+          t);
+    }
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); i += 2) {
+    EXPECT_NE(order[i], order[i + 1])
+        << "DRR rotation " << i / 2 << " did not interleave tenants";
+  }
+  const auto served = fabric.tenantDeliveries();
+  ASSERT_GE(served.size(), 2u);
+  EXPECT_EQ(served[0], 4u);
+  EXPECT_EQ(served[1], 4u);
 }
 
 // ---- RequestList: weighted-fair claim --------------------------------
